@@ -1,0 +1,138 @@
+//! Criterion microbenchmarks of the Duet framework's hot paths — the
+//! quantities behind Figure 9's CPU-overhead measurement.
+
+use bench::synthfs::{SynthFs, SYNTH_ROOT};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use duet::{Duet, DuetConfig, EventMask, TaskScope};
+use sim_cache::{PageEvent, PageKey, PageMeta};
+use sim_core::{BlockNr, InodeNr, PageIndex};
+
+fn meta(ino: u64, idx: u64) -> PageMeta {
+    PageMeta {
+        key: PageKey::new(InodeNr(ino), PageIndex(idx)),
+        block: Some(BlockNr((ino << 20) + idx)),
+        dirty: false,
+    }
+}
+
+fn duet_with_session(mask: EventMask) -> Duet {
+    let fs = SynthFs;
+    let mut duet = Duet::new(DuetConfig::default());
+    duet.register(
+        TaskScope::File {
+            registered_dir: SYNTH_ROOT,
+        },
+        mask,
+        &fs,
+    )
+    .expect("register");
+    duet
+}
+
+fn bench_event_intake(c: &mut Criterion) {
+    let fs = SynthFs;
+    let mut g = c.benchmark_group("duet_event_intake");
+    g.throughput(Throughput::Elements(1024));
+    for (label, mask) in [
+        ("event_mask", EventMask::ADDED | EventMask::DIRTIED),
+        ("state_mask", EventMask::EXISTS | EventMask::MODIFIED),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || duet_with_session(mask),
+                |mut duet| {
+                    for i in 0..1024u64 {
+                        duet.handle_page_event(meta(2 + i % 64, i % 16), PageEvent::Added, &fs);
+                    }
+                    duet
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_state_cancellation(c: &mut Criterion) {
+    // Added immediately followed by Removed: the descriptor must be
+    // freed by cancellation, so memory stays flat.
+    let fs = SynthFs;
+    c.bench_function("duet_state_cancellation", |b| {
+        b.iter_batched(
+            || duet_with_session(EventMask::EXISTS),
+            |mut duet| {
+                for i in 0..512u64 {
+                    duet.handle_page_event(meta(2, i), PageEvent::Added, &fs);
+                    duet.handle_page_event(meta(2, i), PageEvent::Removed, &fs);
+                }
+                assert_eq!(duet.descriptor_count(), 0);
+                duet
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_fetch(c: &mut Criterion) {
+    let fs = SynthFs;
+    let mut g = c.benchmark_group("duet_fetch");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("fetch_1024_items", |b| {
+        b.iter_batched(
+            || {
+                let mut duet = duet_with_session(EventMask::EXISTS);
+                for i in 0..1024u64 {
+                    duet.handle_page_event(meta(2 + i % 64, i / 64), PageEvent::Added, &fs);
+                }
+                duet
+            },
+            |mut duet| {
+                let sid = duet::SessionId(0);
+                let mut total = 0;
+                loop {
+                    let items = duet.fetch(sid, 256, &fs).expect("fetch");
+                    if items.is_empty() {
+                        break;
+                    }
+                    total += items.len();
+                }
+                assert_eq!(total, 1024);
+                duet
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_done_filtering(c: &mut Criterion) {
+    // Events on done files must be rejected with a single bitmap test.
+    let fs = SynthFs;
+    c.bench_function("duet_done_filtered_event", |b| {
+        b.iter_batched(
+            || {
+                let mut duet = duet_with_session(EventMask::EXISTS);
+                for ino in 2..66u64 {
+                    duet.set_done(duet::SessionId(0), duet::ItemId::Inode(InodeNr(ino)))
+                        .expect("set_done");
+                }
+                duet
+            },
+            |mut duet| {
+                for i in 0..1024u64 {
+                    duet.handle_page_event(meta(2 + i % 64, i), PageEvent::Added, &fs);
+                }
+                assert_eq!(duet.descriptor_count(), 0);
+                duet
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_intake, bench_state_cancellation, bench_fetch, bench_done_filtering
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Runs every table/figure harness in sequence, writing all CSVs under
+//! `results/`. Equivalent to invoking each `fig*`/`table*` binary.
+//!
+//! Control fidelity with `DUET_SCALE` (default here: 64 for the sweeps,
+//! which keeps the full reproduction to a few minutes).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig1_distributions",
+        "fig2_scrub_saved",
+        "fig2b_personalities",
+        "fig3_backup_saved",
+        "fig4_rsync_speedup",
+        "fig5_scrub_backup_saved",
+        "fig6_scrub_backup_completed",
+        "fig7_three_tasks_saved",
+        "fig8_three_tasks_completed",
+        "fig9_cpu_overhead",
+        "fig10_ssd",
+        "table5_max_util",
+        "table6_gc_cleaning",
+        "mem_overhead",
+        "extras_sensitivity",
+        "extras_ablations",
+        "extras_f2fs_ssr",
+    ];
+    let scale = std::env::var("DUET_SCALE").unwrap_or_else(|_| "64".into());
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    for bin in bins {
+        println!("\n===== {bin} (DUET_SCALE={scale}) =====");
+        let status = Command::new(exe_dir.join(bin))
+            .env("DUET_SCALE", &scale)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{bin} exited with {s}"),
+            Err(e) => eprintln!(
+                "{bin} failed to launch ({e}); build all binaries first: \
+                 cargo build --release -p bench --bins"
+            ),
+        }
+    }
+    println!("\nAll harnesses done; CSVs in ./results/");
+}

@@ -1,0 +1,109 @@
+//! Shared plumbing for the experiment harness binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that regenerates it (see DESIGN.md's experiment index).
+//! Binaries print the series/rows to stdout and write a CSV under
+//! `results/`. The experiment scale (relative to the paper's 50 GB /
+//! 30 min setup) is controlled by the `DUET_SCALE` environment
+//! variable; larger values run faster at lower fidelity.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Reads the scale factor from `DUET_SCALE`, with a per-harness default.
+pub fn scale_from_env(default: u64) -> u64 {
+    std::env::var("DUET_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(default)
+}
+
+/// A simple CSV/console sink for experiment output.
+pub struct Report {
+    name: &'static str,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates a report with the given column names.
+    pub fn new(name: &'static str, header: &[&str]) -> Self {
+        Report {
+            name,
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (and echoes it to stdout).
+    pub fn row(&mut self, values: &[String]) {
+        assert_eq!(values.len(), self.header.len(), "column count mismatch");
+        println!("  {}", values.join("\t"));
+        self.rows.push(values.to_vec());
+    }
+
+    /// Prints the header line.
+    pub fn print_header(&self) {
+        println!("== {} ==", self.name);
+        println!("  {}", self.header.join("\t"));
+    }
+
+    /// Writes the collected rows to `results/<name>.csv`.
+    pub fn save(&self) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("results");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.header.join(","))?;
+        for r in &self.rows {
+            writeln!(f, "{}", r.join(","))?;
+        }
+        println!("[saved {}]", path.display());
+        Ok(path)
+    }
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_default_applies() {
+        // The env var is not set under `cargo test`.
+        if std::env::var("DUET_SCALE").is_err() {
+            assert_eq!(scale_from_env(32), 32);
+        }
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let mut r = Report::new("unit_test_report", &["a", "b"]);
+        r.print_header();
+        r.row(&["1".into(), "2".into()]);
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(f2(1.234), "1.23");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn report_checks_columns() {
+        let mut r = Report::new("bad", &["a", "b"]);
+        r.row(&["only one".into()]);
+    }
+}
+
+pub mod sweeps;
+pub mod synthfs;

@@ -1,0 +1,86 @@
+//! Reusable sweep drivers for the figure harnesses.
+
+use crate::{f2, Report};
+use experiments::{paper_scaled, run_experiment, DeviceKind, TaskKind};
+use workloads::{DistKind, Personality};
+
+/// Utilization grid of the paper's figures: 0–100 % in 10 % steps.
+pub fn util_grid() -> Vec<f64> {
+    (0..=10).map(|i| i as f64 / 10.0).collect()
+}
+
+/// Sweeps `utilization × overlap` and reports the I/O-saved fraction of
+/// Duet-enabled `tasks` (the Figure 2/3/5/7/10 shape).
+pub fn saved_sweep(
+    name: &'static str,
+    scale: u64,
+    device: DeviceKind,
+    personality: Personality,
+    dist: DistKind,
+    overlaps: &[f64],
+    tasks: &[TaskKind],
+    fragmentation: Option<(f64, u64)>,
+) -> Report {
+    let mut header: Vec<String> = vec!["utilization".into()];
+    for &o in overlaps {
+        header.push(format!("saved_overlap_{:.0}%", o * 100.0));
+    }
+    let hdr_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut report = Report::new(name, &hdr_refs);
+    report.print_header();
+    for util in util_grid() {
+        let mut row = vec![f2(util)];
+        for &overlap in overlaps {
+            let mut cfg = paper_scaled(
+                scale,
+                personality,
+                dist,
+                overlap,
+                util,
+                tasks.to_vec(),
+                true,
+            );
+            cfg.device = device;
+            cfg.fragmentation = fragmentation;
+            let r = run_experiment(&cfg).expect("experiment run");
+            row.push(f2(r.io_saved()));
+        }
+        report.row(&row);
+    }
+    report
+}
+
+/// Sweeps utilization and reports the work-completed fraction for
+/// baseline and Duet modes (the Figure 6/8 shape).
+pub fn completed_sweep(
+    name: &'static str,
+    scale: u64,
+    personality: Personality,
+    tasks: &[TaskKind],
+    fragmentation: Option<(f64, u64)>,
+) -> Report {
+    let mut report = Report::new(
+        name,
+        &["utilization", "baseline_completed", "duet_completed"],
+    );
+    report.print_header();
+    for util in util_grid() {
+        let mut row = vec![f2(util)];
+        for duet in [false, true] {
+            let mut cfg = paper_scaled(
+                scale,
+                personality,
+                DistKind::Uniform,
+                1.0,
+                util,
+                tasks.to_vec(),
+                duet,
+            );
+            cfg.fragmentation = fragmentation;
+            let r = run_experiment(&cfg).expect("experiment run");
+            row.push(f2(r.work_completed()));
+        }
+        report.row(&row);
+    }
+    report
+}

@@ -1,0 +1,46 @@
+//! A minimal synthetic filesystem view for overhead microbenchmarks.
+//!
+//! The §6.4 CPU-overhead experiment only needs Duet's bookkeeping paths
+//! (descriptor updates, relevance bitmap tests, fetch); the stub keeps
+//! everything trivially relevant and maps page *n* of file *i* to block
+//! `i · 2^20 + n`.
+
+use duet::FsIntrospect;
+use sim_cache::PageMeta;
+use sim_core::{BlockNr, DeviceId, InodeNr, PageIndex};
+
+/// Stub filesystem: flat namespace, identity-ish fibmap.
+pub struct SynthFs;
+
+impl FsIntrospect for SynthFs {
+    fn device(&self) -> DeviceId {
+        DeviceId(0)
+    }
+
+    fn is_under(&self, _ino: InodeNr, _dir: InodeNr) -> bool {
+        true
+    }
+
+    fn path_of(&self, ino: InodeNr) -> Option<String> {
+        Some(format!("/f{}", ino.raw()))
+    }
+
+    fn fibmap(&self, ino: InodeNr, index: PageIndex) -> Option<BlockNr> {
+        Some(BlockNr((ino.raw() << 20) + index.raw()))
+    }
+
+    fn has_cached_pages(&self, _ino: InodeNr) -> bool {
+        true
+    }
+
+    fn cached_pages(&self) -> Vec<PageMeta> {
+        Vec::new()
+    }
+
+    fn cached_pages_of(&self, _ino: InodeNr) -> Vec<PageMeta> {
+        Vec::new()
+    }
+}
+
+/// Root directory used by synthetic sessions.
+pub const SYNTH_ROOT: InodeNr = InodeNr(1);

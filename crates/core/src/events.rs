@@ -1,0 +1,233 @@
+//! Notification masks and item flags (Tables 1 and 2 of the paper).
+//!
+//! Tasks subscribe with an [`EventMask`] naming the notification types
+//! they care about. Four are *event* notifications, "triggered when a
+//! page is added, removed, modified, or flushed from the cache"; two are
+//! *state* notifications, "emitted when the existence or modification
+//! status of a page **changes**" — with revert cancellation: a page
+//! removed and re-added between two fetches has not changed state, so no
+//! notification is generated (§3.2).
+//!
+//! Fetched items carry [`ItemFlags`]. The kernel implementation packs
+//! six bits; we widen the state axes into explicit set/clear bits
+//! (`EXISTS`/`NOT_EXISTS`, `MODIFIED`/`NOT_MODIFIED`) so a returned flag
+//! is never ambiguous. The information content is identical (Table 2
+//! pairs `Removed` with `¬Exists` and `Flushed` with `¬Modified`).
+
+use sim_cache::PageEvent;
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// Subscription mask: which notifications a session receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventMask(u8);
+
+impl EventMask {
+    /// Event notification: page added to the cache.
+    pub const ADDED: EventMask = EventMask(1 << 0);
+    /// Event notification: page removed from the cache.
+    pub const REMOVED: EventMask = EventMask(1 << 1);
+    /// Event notification: dirty bit set.
+    pub const DIRTIED: EventMask = EventMask(1 << 2);
+    /// Event notification: dirty bit cleared (written back).
+    pub const FLUSHED: EventMask = EventMask(1 << 3);
+    /// State notification: existence status changed.
+    pub const EXISTS: EventMask = EventMask(1 << 4);
+    /// State notification: modification status changed.
+    pub const MODIFIED: EventMask = EventMask(1 << 5);
+
+    /// The empty mask.
+    pub const fn empty() -> Self {
+        EventMask(0)
+    }
+
+    /// Returns `true` if every bit of `other` is set in `self`.
+    pub const fn contains(self, other: EventMask) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns `true` if any bit of `other` is set in `self`.
+    pub const fn intersects(self, other: EventMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Returns `true` if no notification type is selected.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if the mask includes any state notification
+    /// (`EXISTS` or `MODIFIED`). State sessions have bounded descriptor
+    /// memory because opposing events cancel (§4.2).
+    pub const fn has_state(self) -> bool {
+        self.0 & (Self::EXISTS.0 | Self::MODIFIED.0) != 0
+    }
+
+    /// Returns `true` if the mask includes any of the four raw event
+    /// notifications.
+    pub const fn has_events(self) -> bool {
+        self.0 & 0x0F != 0
+    }
+
+    /// Raw bits (for compact storage).
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+}
+
+impl BitOr for EventMask {
+    type Output = EventMask;
+    fn bitor(self, rhs: EventMask) -> EventMask {
+        EventMask(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for EventMask {
+    fn bitor_assign(&mut self, rhs: EventMask) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for EventMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = [
+            (Self::ADDED, "ADDED"),
+            (Self::REMOVED, "REMOVED"),
+            (Self::DIRTIED, "DIRTIED"),
+            (Self::FLUSHED, "FLUSHED"),
+            (Self::EXISTS, "EXISTS"),
+            (Self::MODIFIED, "MODIFIED"),
+        ];
+        let mut first = true;
+        for (bit, name) in names {
+            if self.contains(bit) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "(none)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Flags on a fetched item: which notifications are pending for the
+/// page, "identifying only the page events that have not yet been made
+/// available to the task via fetch operations" (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ItemFlags(u8);
+
+impl ItemFlags {
+    /// Page was added.
+    pub const ADDED: ItemFlags = ItemFlags(1 << 0);
+    /// Page was removed.
+    pub const REMOVED: ItemFlags = ItemFlags(1 << 1);
+    /// Page was dirtied.
+    pub const DIRTIED: ItemFlags = ItemFlags(1 << 2);
+    /// Page was flushed.
+    pub const FLUSHED: ItemFlags = ItemFlags(1 << 3);
+    /// Existence state changed; the page now exists.
+    pub const EXISTS: ItemFlags = ItemFlags(1 << 4);
+    /// Existence state changed; the page no longer exists.
+    pub const NOT_EXISTS: ItemFlags = ItemFlags(1 << 5);
+    /// Modification state changed; the page is now modified.
+    pub const MODIFIED: ItemFlags = ItemFlags(1 << 6);
+    /// Modification state changed; the page is no longer modified.
+    pub const NOT_MODIFIED: ItemFlags = ItemFlags(1 << 7);
+
+    /// The empty flag set.
+    pub const fn empty() -> Self {
+        ItemFlags(0)
+    }
+
+    /// Returns `true` if every bit of `other` is set.
+    pub const fn contains(self, other: ItemFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns `true` if no flag is set.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Raw bits.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+}
+
+impl BitOr for ItemFlags {
+    type Output = ItemFlags;
+    fn bitor(self, rhs: ItemFlags) -> ItemFlags {
+        ItemFlags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for ItemFlags {
+    fn bitor_assign(&mut self, rhs: ItemFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+/// Page state transition semantics of each cache event: the (exists,
+/// modified) state before and after the event. Used to initialize a
+/// session's last-reported state when a descriptor is first allocated,
+/// and to advance the descriptor's current state.
+pub(crate) fn transition(ev: PageEvent, meta_dirty: bool) -> ((bool, bool), (bool, bool)) {
+    match ev {
+        // A page that did not exist was not modified.
+        PageEvent::Added => ((false, false), (true, meta_dirty)),
+        PageEvent::Removed => ((true, meta_dirty), (false, false)),
+        PageEvent::Dirtied => ((true, false), (true, true)),
+        PageEvent::Flushed => ((true, true), (true, false)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_ops() {
+        let m = EventMask::ADDED | EventMask::DIRTIED;
+        assert!(m.contains(EventMask::ADDED));
+        assert!(!m.contains(EventMask::FLUSHED));
+        assert!(m.intersects(EventMask::DIRTIED | EventMask::EXISTS));
+        assert!(!m.has_state());
+        assert!(m.has_events());
+        assert!((EventMask::EXISTS).has_state());
+        assert!(!(EventMask::EXISTS).has_events());
+        assert!(EventMask::empty().is_empty());
+    }
+
+    #[test]
+    fn mask_display() {
+        let m = EventMask::EXISTS | EventMask::FLUSHED;
+        assert_eq!(m.to_string(), "FLUSHED|EXISTS");
+        assert_eq!(EventMask::empty().to_string(), "(none)");
+    }
+
+    #[test]
+    fn flags_ops() {
+        let mut f = ItemFlags::EXISTS;
+        f |= ItemFlags::MODIFIED;
+        assert!(f.contains(ItemFlags::EXISTS));
+        assert!(f.contains(ItemFlags::MODIFIED));
+        assert!(!f.contains(ItemFlags::ADDED));
+        assert!(ItemFlags::empty().is_empty());
+    }
+
+    #[test]
+    fn transitions() {
+        use sim_cache::PageEvent as E;
+        assert_eq!(transition(E::Added, false), ((false, false), (true, false)));
+        assert_eq!(transition(E::Added, true), ((false, false), (true, true)));
+        assert_eq!(transition(E::Removed, true), ((true, true), (false, false)));
+        assert_eq!(transition(E::Dirtied, true), ((true, false), (true, true)));
+        assert_eq!(transition(E::Flushed, false), ((true, true), (true, false)));
+    }
+}

@@ -1,0 +1,831 @@
+//! The Duet framework core: registration, event handling, fetch, done
+//! tracking and namespace-change handling (§4 of the paper).
+
+use crate::descriptor::Descriptor;
+use crate::events::{transition, EventMask, ItemFlags};
+use crate::fs_view::FsIntrospect;
+use crate::session::{Item, ItemId, Session, SessionId, TaskScope};
+use sim_cache::{PageEvent, PageKey, PageMeta};
+use sim_core::{InodeNr, SimError, SimResult, PAGE_SIZE};
+use std::collections::{BTreeMap, HashMap};
+
+/// Framework configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DuetConfig {
+    /// Maximum concurrent sessions (the `N` of the merged descriptor's
+    /// flag array; configured "at module load time", §4.2).
+    pub max_sessions: usize,
+    /// Per-session cap on queued pending descriptors; beyond it, new
+    /// events for event-only sessions are dropped (DoS bound, §4.2).
+    /// State sessions are never dropped — their descriptors are bounded
+    /// by twice the page-cache size because opposing events cancel.
+    pub descriptor_limit: usize,
+}
+
+impl Default for DuetConfig {
+    fn default() -> Self {
+        DuetConfig {
+            max_sessions: 16,
+            descriptor_limit: 1 << 20,
+        }
+    }
+}
+
+/// Operational statistics (used by the §6.4 overhead evaluation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DuetStats {
+    /// Page events processed.
+    pub events_processed: u64,
+    /// Events dropped by the per-session descriptor limit.
+    pub events_dropped: u64,
+    /// `fetch` calls served.
+    pub fetch_calls: u64,
+    /// Items returned across all fetches.
+    pub items_fetched: u64,
+    /// High-water mark of allocated descriptors.
+    pub peak_descriptors: usize,
+}
+
+/// The Duet framework instance for one device's storage stack.
+pub struct Duet {
+    cfg: DuetConfig,
+    sessions: Vec<Option<Session>>,
+    /// Merged descriptors: inode → page index → descriptor.
+    descriptors: HashMap<InodeNr, BTreeMap<u64, Descriptor>>,
+    ndesc: usize,
+    stats: DuetStats,
+}
+
+impl Duet {
+    /// Creates a framework instance.
+    pub fn new(cfg: DuetConfig) -> Self {
+        assert!(cfg.max_sessions > 0, "need at least one session slot");
+        Duet {
+            sessions: (0..cfg.max_sessions).map(|_| None).collect(),
+            cfg,
+            descriptors: HashMap::new(),
+            ndesc: 0,
+            stats: DuetStats::default(),
+        }
+    }
+
+    /// Creates a framework with default configuration.
+    pub fn with_defaults() -> Self {
+        Duet::new(DuetConfig::default())
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> DuetStats {
+        self.stats
+    }
+
+    /// Number of live item descriptors.
+    pub fn descriptor_count(&self) -> usize {
+        self.ndesc
+    }
+
+    /// Number of active sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Memory footprint in the paper's §6.4 accounting model:
+    /// descriptors (id + offset + N-byte flag array + hash node) plus
+    /// the sessions' sparse bitmaps.
+    pub fn memory_bytes(&self) -> u64 {
+        let desc = self.ndesc as u64 * Descriptor::memory_bytes(self.cfg.max_sessions);
+        let bitmaps: u64 = self
+            .sessions
+            .iter()
+            .flatten()
+            .map(|s| s.bitmap_bytes())
+            .sum();
+        desc + bitmaps
+    }
+
+    fn session_ref(&self, sid: SessionId) -> SimResult<&Session> {
+        self.sessions
+            .get(sid.0 as usize)
+            .and_then(|s| s.as_ref())
+            .ok_or(SimError::InvalidSession(sid.0))
+    }
+
+    fn session_mut(&mut self, sid: SessionId) -> SimResult<&mut Session> {
+        self.sessions
+            .get_mut(sid.0 as usize)
+            .and_then(|s| s.as_mut())
+            .ok_or(SimError::InvalidSession(sid.0))
+    }
+
+    fn masks(&self) -> Vec<Option<EventMask>> {
+        self.sessions
+            .iter()
+            .map(|s| s.as_ref().map(|s| s.mask))
+            .collect()
+    }
+
+    // ----- registration ----------------------------------------------------
+
+    /// `duet_register`: starts a session and scans the page cache so the
+    /// task can immediately exploit already-cached data (§4.1).
+    pub fn register(
+        &mut self,
+        scope: TaskScope,
+        mask: EventMask,
+        fs: &dyn FsIntrospect,
+    ) -> SimResult<SessionId> {
+        if mask.is_empty() {
+            return Err(SimError::InvalidArgument("empty notification mask".into()));
+        }
+        if let TaskScope::Block { device } = scope {
+            if device != fs.device() {
+                return Err(SimError::InvalidArgument(format!(
+                    "device mismatch: registered {device}, filesystem on {}",
+                    fs.device()
+                )));
+            }
+        }
+        let slot = self
+            .sessions
+            .iter()
+            .position(|s| s.is_none())
+            .ok_or(SimError::TooManySessions)?;
+        let sid = SessionId(slot as u32);
+        self.sessions[slot] = Some(Session::new(scope, mask));
+        // Registration scan: initialize a descriptor for each relevant
+        // cached page, flagged present (and possibly dirty).
+        for meta in fs.cached_pages() {
+            self.scan_page(slot, meta, fs);
+        }
+        Ok(sid)
+    }
+
+    /// Seeds one cached page into a session, as the registration scan
+    /// and move-into-directory handling do.
+    fn scan_page(&mut self, slot: usize, meta: PageMeta, fs: &dyn FsIntrospect) {
+        if !self.session_accepts(slot, meta, fs) {
+            return;
+        }
+        let mask = self.sessions[slot].as_ref().expect("live session").mask;
+        let d = self.descriptor_entry(meta.key, true, meta.dirty, meta.block);
+        let was_pending = d.pending_for(slot, mask);
+        {
+            let f = &mut d.sess[slot];
+            if !f.state_init() {
+                f.set_reported(false, false);
+            }
+        }
+        if mask.contains(EventMask::ADDED) {
+            d.sess[slot].set_evt(ItemFlags::ADDED);
+        }
+        if meta.dirty && mask.contains(EventMask::DIRTIED) {
+            d.sess[slot].set_evt(ItemFlags::DIRTIED);
+        }
+        let now_pending = d.pending_for(slot, mask);
+        if now_pending && !was_pending {
+            self.enqueue(slot, meta.key);
+        }
+        self.gc_descriptor(meta.key);
+    }
+
+    /// `duet_deregister`: releases all session state (§3.2).
+    pub fn deregister(&mut self, sid: SessionId) -> SimResult<()> {
+        let slot = sid.0 as usize;
+        self.session_ref(sid)?;
+        self.sessions[slot] = None;
+        // Strip the session's flags from every descriptor; free those
+        // left with nothing pending.
+        let masks = self.masks();
+        let mut freed = 0usize;
+        self.descriptors.retain(|_, pages| {
+            pages.retain(|_, d| {
+                d.sess[slot].clear_all();
+                let keep = d.pending_any(&masks);
+                if !keep {
+                    freed += 1;
+                }
+                keep
+            });
+            !pages.is_empty()
+        });
+        self.ndesc -= freed;
+        Ok(())
+    }
+
+    // ----- event intake ----------------------------------------------------
+
+    /// Whether a session is interested in pages of this file at all
+    /// (scope + relevance + done filtering, §4.1). May update the
+    /// session's `relevant`/`done` bitmaps as a side effect of the
+    /// first-access path walk.
+    fn session_accepts(&mut self, slot: usize, meta: PageMeta, fs: &dyn FsIntrospect) -> bool {
+        let sess = match self.sessions[slot].as_mut() {
+            Some(s) => s,
+            None => return false,
+        };
+        let ino = meta.key.ino;
+        match sess.scope {
+            TaskScope::Block { .. } => {
+                // Deferred when the block is not yet allocated (§4.2).
+                let Some(block) = meta.block else {
+                    return false;
+                };
+                !sess.done.test(block.raw())
+            }
+            TaskScope::File { registered_dir } => {
+                if sess.done.test(ino.raw()) {
+                    return false;
+                }
+                if sess.relevant.test(ino.raw()) {
+                    return true;
+                }
+                // First access: backwards path walk.
+                if fs.is_under(ino, registered_dir) {
+                    sess.relevant.set(ino.raw());
+                    true
+                } else {
+                    // Mark irrelevant files done so future events cost
+                    // one bitmap test (§4.1).
+                    sess.done.set(ino.raw());
+                    false
+                }
+            }
+        }
+    }
+
+    /// Which subscription bits an event can feed.
+    fn interest_of(ev: PageEvent) -> EventMask {
+        match ev {
+            PageEvent::Added => EventMask::ADDED | EventMask::EXISTS,
+            PageEvent::Removed => EventMask::REMOVED | EventMask::EXISTS,
+            PageEvent::Dirtied => EventMask::DIRTIED | EventMask::MODIFIED,
+            PageEvent::Flushed => EventMask::FLUSHED | EventMask::MODIFIED,
+        }
+    }
+
+    fn descriptor_entry(
+        &mut self,
+        key: PageKey,
+        exists: bool,
+        modified: bool,
+        block: Option<sim_core::BlockNr>,
+    ) -> &mut Descriptor {
+        let pages = self.descriptors.entry(key.ino).or_default();
+        let max_sessions = self.cfg.max_sessions;
+        let mut created = false;
+        let d = pages.entry(key.index.raw()).or_insert_with(|| {
+            created = true;
+            Descriptor::new(max_sessions, exists, modified, block)
+        });
+        if created {
+            self.ndesc += 1;
+            self.stats.peak_descriptors = self.stats.peak_descriptors.max(self.ndesc);
+        }
+        d
+    }
+
+    fn descriptor_get(&mut self, key: PageKey) -> Option<&mut Descriptor> {
+        self.descriptors
+            .get_mut(&key.ino)
+            .and_then(|pages| pages.get_mut(&key.index.raw()))
+    }
+
+    /// Frees the descriptor if no session has anything pending on it.
+    fn gc_descriptor(&mut self, key: PageKey) {
+        let masks = self.masks();
+        let Some(pages) = self.descriptors.get_mut(&key.ino) else {
+            return;
+        };
+        if let Some(d) = pages.get(&key.index.raw()) {
+            if !d.pending_any(&masks) {
+                pages.remove(&key.index.raw());
+                self.ndesc -= 1;
+            }
+        }
+        if pages.is_empty() {
+            self.descriptors.remove(&key.ino);
+        }
+    }
+
+    fn enqueue(&mut self, slot: usize, key: PageKey) {
+        if let Some(sess) = self.sessions[slot].as_mut() {
+            sess.queue.push_back(key);
+        }
+    }
+
+    /// The page-cache hook (§4.1): called for every page event, in
+    /// order. `meta` is the page's state as of the event.
+    pub fn handle_page_event(&mut self, meta: PageMeta, ev: PageEvent, fs: &dyn FsIntrospect) {
+        self.stats.events_processed += 1;
+        let ((pre_e, pre_m), (post_e, post_m)) = transition(ev, meta.dirty);
+        let interest = Self::interest_of(ev);
+        // Pass 1: which sessions want this event?
+        let mut interested: Vec<usize> = Vec::new();
+        for slot in 0..self.cfg.max_sessions {
+            let Some(sess) = self.sessions[slot].as_ref() else {
+                continue;
+            };
+            if !sess.mask.intersects(interest) {
+                continue;
+            }
+            // DoS bound: drop events for event-only sessions over limit.
+            if !sess.mask.has_state() && sess.queue.len() >= self.cfg.descriptor_limit {
+                self.stats.events_dropped += 1;
+                if let Some(s) = self.sessions[slot].as_mut() {
+                    s.dropped += 1;
+                }
+                continue;
+            }
+            if self.session_accepts(slot, meta, fs) {
+                interested.push(slot);
+            }
+        }
+        // Pass 2: update the descriptor.
+        let key = meta.key;
+        let exists_already = self
+            .descriptors
+            .get(&key.ino)
+            .is_some_and(|p| p.contains_key(&key.index.raw()));
+        if !exists_already && interested.is_empty() {
+            return;
+        }
+        let masks = self.masks();
+        let mut newly_pending: Vec<usize> = Vec::new();
+        {
+            let d = self.descriptor_entry(key, post_e, post_m, meta.block);
+            if exists_already {
+                d.cur_exists = post_e;
+                d.cur_modified = post_m;
+                if meta.block.is_some() {
+                    d.block = meta.block;
+                }
+            }
+            for &slot in &interested {
+                let mask = masks[slot].expect("interested session is live");
+                let was = d.pending_for(slot, mask);
+                if !d.sess[slot].state_init() {
+                    d.sess[slot].set_reported(pre_e, pre_m);
+                }
+                let evt_bit = match ev {
+                    PageEvent::Added => (EventMask::ADDED, ItemFlags::ADDED),
+                    PageEvent::Removed => (EventMask::REMOVED, ItemFlags::REMOVED),
+                    PageEvent::Dirtied => (EventMask::DIRTIED, ItemFlags::DIRTIED),
+                    PageEvent::Flushed => (EventMask::FLUSHED, ItemFlags::FLUSHED),
+                };
+                if mask.contains(evt_bit.0) {
+                    d.sess[slot].set_evt(evt_bit.1);
+                }
+                let now = d.pending_for(slot, mask);
+                if now && !was {
+                    newly_pending.push(slot);
+                }
+            }
+        }
+        for slot in newly_pending {
+            self.enqueue(slot, key);
+        }
+        // Cancellation: opposing events may have reverted the page to
+        // its reported state for every session.
+        self.gc_descriptor(key);
+    }
+
+    // ----- fetch -------------------------------------------------------------
+
+    /// `duet_fetch`: returns up to `max` items with pending
+    /// notifications, marking them up-to-date (§3.2).
+    pub fn fetch(
+        &mut self,
+        sid: SessionId,
+        max: usize,
+        fs: &dyn FsIntrospect,
+    ) -> SimResult<Vec<Item>> {
+        let slot = sid.0 as usize;
+        self.session_ref(sid)?;
+        self.stats.fetch_calls += 1;
+        let mut out = Vec::new();
+        // Bound the walk by the current queue length so deferred items
+        // (e.g. blockless pages re-queued) cannot spin the loop.
+        let mut budget = self.sessions[slot]
+            .as_ref()
+            .expect("checked above")
+            .queue
+            .len();
+        while out.len() < max && budget > 0 {
+            budget -= 1;
+            let key = {
+                let sess = self.sessions[slot].as_mut().expect("checked above");
+                match sess.queue.pop_front() {
+                    Some(k) => k,
+                    None => break,
+                }
+            };
+            let sess_scope;
+            let sess_mask;
+            {
+                let sess = self.sessions[slot].as_ref().expect("checked above");
+                sess_scope = sess.scope;
+                sess_mask = sess.mask;
+            }
+            let Some(d) = self.descriptor_get(key) else {
+                continue;
+            };
+            if !d.pending_for(slot, sess_mask) {
+                self.gc_descriptor(key);
+                continue;
+            }
+            // Resolve the block for block tasks (FIBMAP bridging, §4.2).
+            let block = match sess_scope {
+                TaskScope::Block { .. } => {
+                    let b = match d.block {
+                        Some(b) => Some(b),
+                        None => {
+                            let resolved = fs.fibmap(key.ino, key.index);
+                            if let Some(b) = resolved {
+                                d.block = Some(b);
+                            }
+                            resolved
+                        }
+                    };
+                    match b {
+                        Some(b) => Some(b),
+                        None => {
+                            // Still unallocated: defer to a later fetch.
+                            let sess = self.sessions[slot].as_mut().expect("checked above");
+                            sess.queue.push_back(key);
+                            continue;
+                        }
+                    }
+                }
+                TaskScope::File { .. } => None,
+            };
+            // Done filtering at delivery time. File tasks need no check
+            // here: `set_done` already marked their descriptors
+            // up-to-date. Block tasks have no per-block descriptor
+            // index, so "marked up-to-date" is applied lazily now.
+            let skip = match sess_scope {
+                TaskScope::File { .. } => false,
+                TaskScope::Block { .. } => {
+                    let sess = self.sessions[slot].as_ref().expect("checked above");
+                    sess.done.test(block.expect("resolved above").raw())
+                }
+            };
+            let d = self.descriptor_get(key).expect("descriptor present");
+            if skip {
+                // Mark up-to-date without delivering.
+                d.sess[slot].clear_evt();
+                d.sess[slot].clear_force_not_exists();
+                let (e, m) = (d.cur_exists, d.cur_modified);
+                d.sess[slot].set_reported(e, m);
+                self.gc_descriptor(key);
+                continue;
+            }
+            // Build the flags.
+            let mut flags = ItemFlags::empty();
+            let f = d.sess[slot];
+            flags |= crate::events::ItemFlags::from_evt_bits(f.evt_bits());
+            if f.force_not_exists() {
+                flags |= ItemFlags::NOT_EXISTS;
+            } else if f.state_init() {
+                if sess_mask.contains(EventMask::EXISTS) && f.reported_exists() != d.cur_exists {
+                    flags |= if d.cur_exists {
+                        ItemFlags::EXISTS
+                    } else {
+                        ItemFlags::NOT_EXISTS
+                    };
+                }
+                if sess_mask.contains(EventMask::MODIFIED)
+                    && f.reported_modified() != d.cur_modified
+                {
+                    flags |= if d.cur_modified {
+                        ItemFlags::MODIFIED
+                    } else {
+                        ItemFlags::NOT_MODIFIED
+                    };
+                }
+            }
+            // Mark up-to-date.
+            d.sess[slot].clear_evt();
+            d.sess[slot].clear_force_not_exists();
+            let (e, m) = (d.cur_exists, d.cur_modified);
+            d.sess[slot].set_reported(e, m);
+            let item = match sess_scope {
+                TaskScope::File { .. } => Item {
+                    id: ItemId::Inode(key.ino),
+                    offset: key.index.raw() * PAGE_SIZE,
+                    flags,
+                    moved_to: None,
+                },
+                TaskScope::Block { .. } => {
+                    let b = block.expect("resolved above");
+                    // Surface a post-event migration (log-structured
+                    // flush) for the GC's segment counters.
+                    let moved_to = fs.fibmap(key.ino, key.index).filter(|&cur| cur != b);
+                    Item {
+                        id: ItemId::Block(b),
+                        offset: 0,
+                        flags,
+                        moved_to,
+                    }
+                }
+            };
+            out.push(item);
+            self.gc_descriptor(key);
+        }
+        self.stats.items_fetched += out.len() as u64;
+        Ok(out)
+    }
+
+    // ----- done tracking -------------------------------------------------------
+
+    /// `duet_check_done`.
+    pub fn check_done(&self, sid: SessionId, item: ItemId) -> SimResult<bool> {
+        let sess = self.session_ref(sid)?;
+        Ok(match item {
+            ItemId::Block(b) => sess.done.test(b.raw()),
+            ItemId::Inode(i) => sess.done.test(i.raw()),
+        })
+    }
+
+    /// `duet_set_done`: marks work complete. For file tasks, all the
+    /// file's pending descriptors are marked up-to-date ("the item
+    /// descriptors for all the associated pages of the file are marked
+    /// up-to-date and future events on the file are no longer tracked",
+    /// §4.1).
+    pub fn set_done(&mut self, sid: SessionId, item: ItemId) -> SimResult<()> {
+        let slot = sid.0 as usize;
+        {
+            let sess = self.session_mut(sid)?;
+            match item {
+                ItemId::Block(b) => {
+                    sess.done.set(b.raw());
+                }
+                ItemId::Inode(i) => {
+                    sess.done.set(i.raw());
+                }
+            }
+        }
+        if let ItemId::Inode(ino) = item {
+            let masks = self.masks();
+            if let Some(pages) = self.descriptors.get_mut(&ino) {
+                let mut freed = 0usize;
+                pages.retain(|_, d| {
+                    d.sess[slot].clear_evt();
+                    d.sess[slot].clear_force_not_exists();
+                    let (e, m) = (d.cur_exists, d.cur_modified);
+                    d.sess[slot].set_reported(e, m);
+                    let keep = d.pending_any(&masks);
+                    if !keep {
+                        freed += 1;
+                    }
+                    keep
+                });
+                if pages.is_empty() {
+                    self.descriptors.remove(&ino);
+                }
+                self.ndesc -= freed;
+            }
+        }
+        Ok(())
+    }
+
+    /// `duet_unset_done`: reopens an item for tracking (the scrubber's
+    /// re-verify path uses this when a done block is overwritten).
+    pub fn unset_done(&mut self, sid: SessionId, item: ItemId) -> SimResult<()> {
+        let sess = self.session_mut(sid)?;
+        match item {
+            ItemId::Block(b) => {
+                sess.done.clear(b.raw());
+            }
+            ItemId::Inode(i) => {
+                sess.done.clear(i.raw());
+            }
+        }
+        Ok(())
+    }
+
+    // ----- path resolution -------------------------------------------------------
+
+    /// `duet_get_path`: translates an inode to a path relative to the
+    /// registered directory. Fails with
+    /// [`SimError::PathNotAvailable`] when the file has no cached pages
+    /// (the hint's truth check, §3.2) or has left the registered tree.
+    pub fn get_path(
+        &self,
+        sid: SessionId,
+        ino: InodeNr,
+        fs: &dyn FsIntrospect,
+    ) -> SimResult<String> {
+        let sess = self.session_ref(sid)?;
+        let TaskScope::File { registered_dir } = sess.scope else {
+            return Err(SimError::Unsupported("get_path on a block task"));
+        };
+        if !fs.has_cached_pages(ino) {
+            return Err(SimError::PathNotAvailable(ino));
+        }
+        if !fs.is_under(ino, registered_dir) {
+            return Err(SimError::PathNotAvailable(ino));
+        }
+        let full = fs.path_of(ino).ok_or(SimError::PathNotAvailable(ino))?;
+        let base = fs
+            .path_of(registered_dir)
+            .ok_or(SimError::PathNotAvailable(registered_dir))?;
+        let rel = if base == "/" {
+            full.trim_start_matches('/').to_string()
+        } else {
+            full.strip_prefix(&base)
+                .map(|s| s.trim_start_matches('/').to_string())
+                .unwrap_or(full.clone())
+        };
+        Ok(rel)
+    }
+
+    // ----- namespace events -------------------------------------------------------
+
+    /// VFS hook: a file or directory moved. Handles moves into and out
+    /// of registered directories, and directory renames (§4.1).
+    pub fn handle_rename(
+        &mut self,
+        ino: InodeNr,
+        old_parent: InodeNr,
+        is_dir: bool,
+        fs: &dyn FsIntrospect,
+    ) {
+        for slot in 0..self.cfg.max_sessions {
+            let Some(sess) = self.sessions[slot].as_ref() else {
+                continue;
+            };
+            let TaskScope::File { registered_dir } = sess.scope else {
+                continue;
+            };
+            let was_rel = fs.is_under(old_parent, registered_dir) || ino == registered_dir;
+            let now_rel = fs.is_under(ino, registered_dir);
+            if is_dir {
+                if was_rel == now_rel {
+                    continue;
+                }
+                // Directory rename: reset relevant and done for all
+                // files except those fully processed (both bits set).
+                let sess = self.sessions[slot].as_mut().expect("live session");
+                let keep: Vec<u64> = sess
+                    .relevant
+                    .iter()
+                    .filter(|&i| sess.done.test(i))
+                    .collect();
+                sess.relevant.clear_all();
+                sess.done.clear_all();
+                for i in keep {
+                    sess.relevant.set(i);
+                    sess.done.set(i);
+                }
+            } else if !was_rel && now_rel {
+                // Moved in: start tracking; seed descriptors for pages
+                // already cached.
+                {
+                    let sess = self.sessions[slot].as_mut().expect("live session");
+                    sess.done.clear(ino.raw());
+                    sess.relevant.set(ino.raw());
+                }
+                for meta in fs.cached_pages_of(ino) {
+                    self.scan_page(slot, meta, fs);
+                }
+            } else if was_rel && !now_rel {
+                // Moved out: report the pages gone, then ignore the file.
+                let mask = self.sessions[slot].as_ref().expect("live session").mask;
+                for meta in fs.cached_pages_of(ino) {
+                    let d = self.descriptor_entry(meta.key, true, meta.dirty, meta.block);
+                    let was = d.pending_for(slot, mask);
+                    if mask.contains(EventMask::REMOVED) {
+                        d.sess[slot].set_evt(ItemFlags::REMOVED);
+                    }
+                    if mask.contains(EventMask::EXISTS) {
+                        d.sess[slot].set_force_not_exists();
+                    }
+                    let now = d.pending_for(slot, mask);
+                    if now && !was {
+                        self.enqueue(slot, meta.key);
+                    }
+                    self.gc_descriptor(meta.key);
+                }
+                // Mark the file done while keeping the farewell
+                // notifications pending: future events are filtered at
+                // intake, but the pending `Removed`/`¬Exists` items are
+                // still delivered — "after the next fetch, Duet will
+                // ignore the file" (§4.1).
+                let sess = self.sessions[slot].as_mut().expect("live session");
+                sess.relevant.clear(ino.raw());
+                sess.done.set(ino.raw());
+            }
+        }
+    }
+
+    /// VFS hook: a file was deleted. The page cache already emitted
+    /// `Removed` events for its pages; this only releases the
+    /// relevance/done bits so bitmap memory stays bounded.
+    pub fn handle_delete(&mut self, ino: InodeNr) {
+        for slot in 0..self.cfg.max_sessions {
+            if let Some(sess) = self.sessions[slot].as_mut() {
+                if matches!(sess.scope, TaskScope::File { .. }) {
+                    sess.relevant.clear(ino.raw());
+                    sess.done.clear(ino.raw());
+                }
+            }
+        }
+    }
+
+    /// Human-readable framework status — sessions, masks, descriptor
+    /// and memory counters — analogous to the kernel module's debugfs
+    /// interface.
+    pub fn status(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "duet: {} session(s), {} descriptor(s), {} B tracked memory",
+            self.session_count(),
+            self.ndesc,
+            self.memory_bytes()
+        );
+        for (slot, sess) in self.sessions.iter().enumerate() {
+            let Some(s) = sess else {
+                continue;
+            };
+            let scope = match s.scope {
+                TaskScope::Block { device } => format!("block task on {device}"),
+                TaskScope::File { registered_dir } => {
+                    format!("file task under {registered_dir}")
+                }
+            };
+            let _ = writeln!(
+                out,
+                "  sid#{slot}: {scope}, mask {}, queue {}, done bits {}, relevant bits {}, dropped {}",
+                s.mask,
+                s.queue.len(),
+                s.done.count(),
+                s.relevant.count(),
+                s.dropped
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  totals: {} events processed, {} dropped, {} fetches, {} items, peak {} descriptors",
+            self.stats.events_processed,
+            self.stats.events_dropped,
+            self.stats.fetch_calls,
+            self.stats.items_fetched,
+            self.stats.peak_descriptors
+        );
+        out
+    }
+
+    /// Pages with pending notifications for any session, up to `max`.
+    ///
+    /// Powers the *informed cache replacement* extension (named as
+    /// future work in §2 of the paper): the cache can deprioritize
+    /// evicting pages whose hints no task has consumed yet.
+    pub fn pending_pages(&self, max: usize) -> Vec<PageKey> {
+        let masks = self.masks();
+        let mut out = Vec::new();
+        'outer: for (&ino, pages) in &self.descriptors {
+            for (&idx, d) in pages {
+                if d.pending_any(&masks) {
+                    out.push(PageKey::new(ino, sim_core::PageIndex(idx)));
+                    if out.len() >= max {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Events dropped for a session (DoS-bound accounting).
+    pub fn dropped_events(&self, sid: SessionId) -> SimResult<u64> {
+        Ok(self.session_ref(sid)?.dropped)
+    }
+
+    /// The session's pending-queue length (diagnostics).
+    pub fn queue_len(&self, sid: SessionId) -> SimResult<usize> {
+        Ok(self.session_ref(sid)?.queue.len())
+    }
+}
+
+impl ItemFlags {
+    /// Builds flags from raw pending-event bits (bits 0–3 map 1:1).
+    pub(crate) fn from_evt_bits(bits: u8) -> ItemFlags {
+        debug_assert!(bits & 0xF0 == 0);
+        let mut f = ItemFlags::empty();
+        if bits & ItemFlags::ADDED.bits() != 0 {
+            f |= ItemFlags::ADDED;
+        }
+        if bits & ItemFlags::REMOVED.bits() != 0 {
+            f |= ItemFlags::REMOVED;
+        }
+        if bits & ItemFlags::DIRTIED.bits() != 0 {
+            f |= ItemFlags::DIRTIED;
+        }
+        if bits & ItemFlags::FLUSHED.bits() != 0 {
+            f |= ItemFlags::FLUSHED;
+        }
+        f
+    }
+}

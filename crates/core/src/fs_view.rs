@@ -1,0 +1,44 @@
+//! The filesystem introspection interface Duet relies on.
+//!
+//! The kernel implementation reaches into the dentry cache for relevance
+//! walks, the page cache for the registration scan, and the FIBMAP ioctl
+//! for file-page → block translation (§4). The framework is
+//! filesystem-agnostic, so those touchpoints are expressed as a trait
+//! that each simulated filesystem implements.
+
+use sim_cache::PageMeta;
+use sim_core::{BlockNr, DeviceId, InodeNr, PageIndex};
+
+/// Read-only filesystem facilities the Duet framework consumes.
+pub trait FsIntrospect {
+    /// The device the filesystem is mounted on.
+    fn device(&self) -> DeviceId;
+
+    /// Returns `true` if `ino` equals `dir` or lies in its subtree —
+    /// the backwards path walk of §4.1 ("we traverse its path backwards
+    /// to detect whether the file lies within the registered
+    /// directory"). Returns `false` for inodes that no longer exist.
+    fn is_under(&self, ino: InodeNr, dir: InodeNr) -> bool;
+
+    /// Absolute path of an inode, or `None` if it no longer exists.
+    fn path_of(&self, ino: InodeNr) -> Option<String>;
+
+    /// FIBMAP: the physical block backing a file page, if allocated.
+    /// `None` models delayed allocation (§4.2): the event is deferred
+    /// "to be returned by a later fetch operation".
+    fn fibmap(&self, ino: InodeNr, index: PageIndex) -> Option<BlockNr>;
+
+    /// Returns `true` if the file currently has at least one page in
+    /// the page cache. `duet_get_path` uses this as the *truth* for the
+    /// page-cache hints (§3.2): when it fails, tasks back out of
+    /// opportunistic processing.
+    fn has_cached_pages(&self, ino: InodeNr) -> bool;
+
+    /// All pages currently in the page cache (the registration scan of
+    /// §4.1).
+    fn cached_pages(&self) -> Vec<PageMeta>;
+
+    /// Cached pages of one file (used when a file moves into the
+    /// registered directory, §4.1).
+    fn cached_pages_of(&self, ino: InodeNr) -> Vec<PageMeta>;
+}

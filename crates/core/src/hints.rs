@@ -1,0 +1,236 @@
+//! Residency tracking for file tasks — the reusable half of
+//! Algorithm 1.
+//!
+//! The paper's user/kernel library gives tasks a priority queue over
+//! fetched events; every file task then repeats the same bookkeeping:
+//! count `Exists`/`¬Exists` notifications per inode and keep a priority
+//! queue ordered by residency (rsync: resident pages; defragmentation:
+//! resident fraction of the file size). [`ResidencyTracker`] implements
+//! that loop once.
+
+use crate::events::ItemFlags;
+use crate::session::Item;
+use crate::PrioQueue;
+use sim_core::InodeNr;
+use std::collections::HashMap;
+
+/// How queued files are prioritized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// By number of resident pages (the rsync policy, Table 3).
+    ResidentPages,
+    /// By resident fraction of the file, in thousandths (the
+    /// defragmentation policy, Table 3). Requires file sizes via
+    /// [`ResidencyTracker::update_with_sizes`].
+    ResidentFraction,
+    /// Touched files all share one priority — file-granularity
+    /// (inotify-style) hints with no residency information (§3.3).
+    TouchedOnly,
+}
+
+/// Tracks per-file residency from fetched items and maintains the
+/// priority queue of Algorithm 1.
+#[derive(Debug)]
+pub struct ResidencyTracker {
+    policy: Priority,
+    resident: HashMap<InodeNr, u64>,
+    queue: PrioQueue<u64, u64>,
+}
+
+impl ResidencyTracker {
+    /// Creates a tracker with the given prioritization policy.
+    pub fn new(policy: Priority) -> Self {
+        ResidencyTracker {
+            policy,
+            resident: HashMap::new(),
+            queue: PrioQueue::new(),
+        }
+    }
+
+    /// Feeds fetched items, filtered by `eligible` (e.g. membership in
+    /// the task's plan), using `size_pages` to resolve fractions (may
+    /// return 0 for unknown/deleted files, which dequeues them).
+    pub fn update_with_sizes<F, G>(&mut self, items: &[Item], mut eligible: F, mut size_pages: G)
+    where
+        F: FnMut(InodeNr) -> bool,
+        G: FnMut(InodeNr) -> u64,
+    {
+        for item in items {
+            let Some(ino) = item.id.as_inode() else {
+                continue;
+            };
+            if !eligible(ino) {
+                continue;
+            }
+            match self.policy {
+                Priority::TouchedOnly => {
+                    if item.flags.contains(ItemFlags::EXISTS) {
+                        self.queue.upsert(ino.raw(), 1);
+                    }
+                }
+                Priority::ResidentPages | Priority::ResidentFraction => {
+                    let count = self.resident.entry(ino).or_insert(0);
+                    if item.flags.contains(ItemFlags::EXISTS) {
+                        *count += 1;
+                    } else if item.flags.contains(ItemFlags::NOT_EXISTS) {
+                        *count = count.saturating_sub(1);
+                    }
+                    let count = *count;
+                    let prio = match self.policy {
+                        Priority::ResidentPages => count,
+                        Priority::ResidentFraction => {
+                            let size = size_pages(ino);
+                            if size == 0 {
+                                0
+                            } else {
+                                count.min(size) * 1000 / size
+                            }
+                        }
+                        Priority::TouchedOnly => unreachable!(),
+                    };
+                    if prio == 0 {
+                        self.queue.remove(ino.raw());
+                    } else {
+                        self.queue.upsert(ino.raw(), prio);
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`ResidencyTracker::update_with_sizes`] without size resolution
+    /// (for [`Priority::ResidentPages`] and [`Priority::TouchedOnly`]).
+    pub fn update<F>(&mut self, items: &[Item], eligible: F)
+    where
+        F: FnMut(InodeNr) -> bool,
+    {
+        debug_assert!(
+            self.policy != Priority::ResidentFraction,
+            "fraction policy needs sizes"
+        );
+        self.update_with_sizes(items, eligible, |_| 1);
+    }
+
+    /// Pops the highest-priority file.
+    pub fn pop_best(&mut self) -> Option<InodeNr> {
+        self.queue.pop_max().map(|(ino, _)| InodeNr(ino))
+    }
+
+    /// Drops a file from the tracker (processed or abandoned).
+    pub fn forget(&mut self, ino: InodeNr) {
+        self.queue.remove(ino.raw());
+        self.resident.remove(&ino);
+    }
+
+    /// Queued files.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns `true` if no file is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Current resident-page estimate for a file.
+    pub fn resident_pages(&self, ino: InodeNr) -> u64 {
+        self.resident.get(&ino).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::ItemId;
+    use sim_core::BlockNr;
+
+    fn item(ino: u64, offset: u64, flags: ItemFlags) -> Item {
+        Item {
+            id: ItemId::Inode(InodeNr(ino)),
+            offset,
+            flags,
+            moved_to: None,
+        }
+    }
+
+    fn block_item(b: u64) -> Item {
+        Item {
+            id: ItemId::Block(BlockNr(b)),
+            offset: 0,
+            flags: ItemFlags::EXISTS,
+            moved_to: None,
+        }
+    }
+
+    #[test]
+    fn resident_pages_policy_orders_by_count() {
+        let mut t = ResidencyTracker::new(Priority::ResidentPages);
+        let items: Vec<Item> = (0..3)
+            .map(|i| item(7, i * 4096, ItemFlags::EXISTS))
+            .chain([item(8, 0, ItemFlags::EXISTS)])
+            .collect();
+        t.update(&items, |_| true);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.resident_pages(InodeNr(7)), 3);
+        assert_eq!(t.pop_best(), Some(InodeNr(7)), "most resident first");
+        assert_eq!(t.pop_best(), Some(InodeNr(8)));
+        assert_eq!(t.pop_best(), None);
+    }
+
+    #[test]
+    fn fraction_policy_prefers_small_fully_resident_files() {
+        let mut t = ResidencyTracker::new(Priority::ResidentFraction);
+        // File 1: 2 of 16 pages resident. File 2: 1 of 1.
+        let items = vec![
+            item(1, 0, ItemFlags::EXISTS),
+            item(1, 4096, ItemFlags::EXISTS),
+            item(2, 0, ItemFlags::EXISTS),
+        ];
+        t.update_with_sizes(&items, |_| true, |ino| if ino.raw() == 1 { 16 } else { 1 });
+        assert_eq!(t.pop_best(), Some(InodeNr(2)), "100% beats 12.5%");
+    }
+
+    #[test]
+    fn eviction_dequeues_files() {
+        let mut t = ResidencyTracker::new(Priority::ResidentPages);
+        t.update(&[item(5, 0, ItemFlags::EXISTS)], |_| true);
+        assert_eq!(t.len(), 1);
+        t.update(&[item(5, 0, ItemFlags::NOT_EXISTS)], |_| true);
+        assert!(t.is_empty(), "fully evicted file leaves the queue");
+    }
+
+    #[test]
+    fn touched_only_has_flat_priorities() {
+        let mut t = ResidencyTracker::new(Priority::TouchedOnly);
+        let items: Vec<Item> = (0..4)
+            .map(|i| item(9, i * 4096, ItemFlags::EXISTS))
+            .chain([item(3, 0, ItemFlags::EXISTS)])
+            .collect();
+        t.update(&items, |_| true);
+        // No residency info: ties broken by key, not by page count.
+        assert_eq!(t.pop_best(), Some(InodeNr(9)));
+        assert_eq!(t.pop_best(), Some(InodeNr(3)));
+    }
+
+    #[test]
+    fn filters_ineligible_and_block_items() {
+        let mut t = ResidencyTracker::new(Priority::ResidentPages);
+        let items = vec![
+            item(1, 0, ItemFlags::EXISTS),
+            item(2, 0, ItemFlags::EXISTS),
+            block_item(99),
+        ];
+        t.update(&items, |ino| ino.raw() == 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.pop_best(), Some(InodeNr(1)));
+    }
+
+    #[test]
+    fn forget_removes_state() {
+        let mut t = ResidencyTracker::new(Priority::ResidentPages);
+        t.update(&[item(5, 0, ItemFlags::EXISTS)], |_| true);
+        t.forget(InodeNr(5));
+        assert!(t.is_empty());
+        assert_eq!(t.resident_pages(InodeNr(5)), 0);
+    }
+}

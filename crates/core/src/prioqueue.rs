@@ -1,0 +1,202 @@
+//! The Duet task library's priority queue.
+//!
+//! "The Duet library is used by both in-kernel and user-level tasks. It
+//! implements a priority queue for storing Duet events that are fetched
+//! using the Duet API. ... Our current implementation uses a red-black
+//! tree for the priority queue." (§4.2)
+//!
+//! Tasks enqueue items keyed by a task-specific priority — e.g. the
+//! number of pages a file has in memory (rsync) or the fraction of its
+//! pages resident (defragmentation) — and dequeue the highest-priority
+//! item (Algorithm 1). Priorities are updatable: re-upserting a key
+//! replaces its priority.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An updatable max-priority queue over unique keys.
+///
+/// # Examples
+///
+/// ```
+/// use duet::PrioQueue;
+///
+/// let mut q: PrioQueue<u64, u64> = PrioQueue::new();
+/// q.upsert(10, 3);
+/// q.upsert(20, 7);
+/// q.upsert(10, 9); // update
+/// assert_eq!(q.pop_max(), Some((10, 9)));
+/// assert_eq!(q.pop_max(), Some((20, 7)));
+/// assert_eq!(q.pop_max(), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PrioQueue<K: Ord + Copy, P: Ord + Copy> {
+    by_prio: BTreeSet<(P, K)>,
+    prio_of: BTreeMap<K, P>,
+}
+
+impl<K: Ord + Copy, P: Ord + Copy> PrioQueue<K, P> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        PrioQueue {
+            by_prio: BTreeSet::new(),
+            prio_of: BTreeMap::new(),
+        }
+    }
+
+    /// Number of queued keys.
+    pub fn len(&self) -> usize {
+        self.prio_of.len()
+    }
+
+    /// Returns `true` if the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.prio_of.is_empty()
+    }
+
+    /// Inserts a key or updates its priority. Returns the previous
+    /// priority if the key was present.
+    pub fn upsert(&mut self, key: K, prio: P) -> Option<P> {
+        let old = self.prio_of.insert(key, prio);
+        if let Some(op) = old {
+            self.by_prio.remove(&(op, key));
+        }
+        self.by_prio.insert((prio, key));
+        old
+    }
+
+    /// The current priority of a key.
+    pub fn priority_of(&self, key: K) -> Option<P> {
+        self.prio_of.get(&key).copied()
+    }
+
+    /// Removes a key. Returns its priority if present.
+    pub fn remove(&mut self, key: K) -> Option<P> {
+        let p = self.prio_of.remove(&key)?;
+        self.by_prio.remove(&(p, key));
+        Some(p)
+    }
+
+    /// Removes and returns the highest-priority entry (ties broken by
+    /// largest key).
+    pub fn pop_max(&mut self) -> Option<(K, P)> {
+        let &(p, k) = self.by_prio.iter().next_back()?;
+        self.by_prio.remove(&(p, k));
+        self.prio_of.remove(&k);
+        Some((k, p))
+    }
+
+    /// Returns the highest-priority entry without removing it.
+    pub fn peek_max(&self) -> Option<(K, P)> {
+        self.by_prio.iter().next_back().map(|&(p, k)| (k, p))
+    }
+
+    /// Iterates entries in descending priority order.
+    pub fn iter_desc(&self) -> impl Iterator<Item = (K, P)> + '_ {
+        self.by_prio.iter().rev().map(|&(p, k)| (k, p))
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.by_prio.clear();
+        self.prio_of.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsert_and_pop_order() {
+        let mut q = PrioQueue::new();
+        assert!(q.is_empty());
+        q.upsert("a", 1);
+        q.upsert("b", 5);
+        q.upsert("c", 3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_max(), Some(("b", 5)));
+        assert_eq!(q.pop_max(), Some(("b", 5)));
+        assert_eq!(q.pop_max(), Some(("c", 3)));
+        assert_eq!(q.pop_max(), Some(("a", 1)));
+        assert_eq!(q.pop_max(), None);
+    }
+
+    #[test]
+    fn update_moves_key() {
+        let mut q = PrioQueue::new();
+        q.upsert(1u64, 10u64);
+        assert_eq!(q.upsert(1, 99), Some(10));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.priority_of(1), Some(99));
+        assert_eq!(q.pop_max(), Some((1, 99)));
+    }
+
+    #[test]
+    fn remove() {
+        let mut q = PrioQueue::new();
+        q.upsert(1u32, 1u32);
+        q.upsert(2, 2);
+        assert_eq!(q.remove(1), Some(1));
+        assert_eq!(q.remove(1), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn iter_desc_order() {
+        let mut q = PrioQueue::new();
+        for (k, p) in [(1u8, 4u8), (2, 2), (3, 9)] {
+            q.upsert(k, p);
+        }
+        let order: Vec<(u8, u8)> = q.iter_desc().collect();
+        assert_eq!(order, vec![(3, 9), (1, 4), (2, 2)]);
+    }
+
+    #[test]
+    fn clear() {
+        let mut q = PrioQueue::new();
+        q.upsert(1u8, 1u8);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop_max(), None);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Queue behaviour matches a reference map under arbitrary
+            /// upsert/remove/pop sequences.
+            #[test]
+            fn matches_reference(ops in prop::collection::vec(
+                (0u8..3, 0u64..20, 0u64..100), 0..200)) {
+                let mut q = PrioQueue::new();
+                let mut reference = std::collections::BTreeMap::new();
+                for (op, k, p) in ops {
+                    match op {
+                        0 => {
+                            q.upsert(k, p);
+                            reference.insert(k, p);
+                        }
+                        1 => {
+                            prop_assert_eq!(q.remove(k), reference.remove(&k));
+                        }
+                        _ => {
+                            let expected = reference
+                                .iter()
+                                .map(|(&k, &p)| (p, k))
+                                .max();
+                            let got = q.pop_max();
+                            prop_assert_eq!(got, expected.map(|(p, k)| (k, p)));
+                            if let Some((p, k)) = expected {
+                                let _ = p;
+                                reference.remove(&k);
+                            }
+                        }
+                    }
+                    prop_assert_eq!(q.len(), reference.len());
+                }
+            }
+        }
+    }
+}

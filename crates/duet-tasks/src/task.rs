@@ -1,0 +1,147 @@
+//! Common maintenance-task machinery.
+//!
+//! Every task is a resumable state machine: the experiment runner calls
+//! [`BtrfsTask::step`] whenever the scheduling policy allows maintenance
+//! I/O (idle-priority tasks only get the device's idle gaps, §6.1.3),
+//! and each step performs one small chunk of work — mirroring how "the
+//! maintenance work is usually partitioned in small chunks that can be
+//! scheduled around workloads" (§5.6).
+
+use duet::Duet;
+use sim_btrfs::BtrfsSim;
+use sim_core::{SimInstant, SimResult};
+
+/// Whether a task runs with or without the Duet framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskMode {
+    /// The unmodified task: fixed processing order, no hints.
+    Baseline,
+    /// The opportunistic task: registered with Duet, processes cached
+    /// data out of order.
+    Duet,
+}
+
+/// Result of one task step.
+#[derive(Debug, Clone, Copy)]
+pub struct StepResult {
+    /// Virtual time at which the step's I/O completed.
+    pub finish: SimInstant,
+    /// Whether the task has finished all of its work.
+    pub complete: bool,
+}
+
+/// Progress and I/O accounting exposed by every task.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TaskMetrics {
+    /// Total work units (task-specific: blocks, pages, or I/O units).
+    pub total_units: u64,
+    /// Work units completed so far.
+    pub done_units: u64,
+    /// Work units completed *without maintenance I/O* thanks to Duet
+    /// hints or cache hits — the numerator of the paper's "I/O saved"
+    /// metric (Table 4).
+    pub saved_units: u64,
+    /// Blocks actually read from the device by this task.
+    pub blocks_read: u64,
+    /// Blocks written to the device by this task.
+    pub blocks_written: u64,
+}
+
+impl TaskMetrics {
+    /// Fraction of work completed.
+    pub fn work_fraction(&self) -> f64 {
+        if self.total_units == 0 {
+            1.0
+        } else {
+            (self.done_units as f64 / self.total_units as f64).min(1.0)
+        }
+    }
+
+    /// The paper's "I/O saved" ratio: maintenance I/O avoided relative
+    /// to the I/O the baseline task would perform.
+    pub fn io_saved_fraction(&self) -> f64 {
+        if self.total_units == 0 {
+            0.0
+        } else {
+            self.saved_units as f64 / self.total_units as f64
+        }
+    }
+}
+
+/// Execution context handed to each Btrfs task step.
+pub struct BtrfsCtx<'a> {
+    /// The filesystem (and its disk + page cache).
+    pub fs: &'a mut BtrfsSim,
+    /// The Duet framework instance for this device.
+    pub duet: &'a mut Duet,
+    /// Current virtual time.
+    pub now: SimInstant,
+}
+
+/// A maintenance task over the Btrfs-model filesystem (scrub, backup,
+/// defragmentation).
+pub trait BtrfsTask {
+    /// Display name, e.g. `"scrub(duet)"`.
+    fn name(&self) -> String;
+
+    /// One-time setup: plan the work and register with Duet (Duet
+    /// mode). Must be called before the first `step`.
+    fn start(&mut self, ctx: BtrfsCtx<'_>) -> SimResult<()>;
+
+    /// Performs one chunk of work.
+    fn step(&mut self, ctx: BtrfsCtx<'_>) -> SimResult<StepResult>;
+
+    /// Drains pending Duet notifications and performs any opportunistic
+    /// work that needs *no device I/O* (e.g. marking workload-read
+    /// blocks scrubbed, copying cached snapshot pages to the backup
+    /// stream). The paper's tasks "invoke fetch calls many times per
+    /// second" (§4.2) — polling is CPU work and is not gated on device
+    /// idleness, so the runner calls this every few milliseconds of
+    /// virtual time. Cached pages are only useful while they remain
+    /// cached; without frequent polling, opportunities expire with
+    /// eviction.
+    fn poll(&mut self, ctx: BtrfsCtx<'_>) -> SimResult<()> {
+        let _ = ctx;
+        Ok(())
+    }
+
+    /// Final bookkeeping drain at window end; defaults to one last
+    /// [`BtrfsTask::poll`].
+    fn finalize(&mut self, ctx: BtrfsCtx<'_>) -> SimResult<()> {
+        self.poll(ctx)
+    }
+
+    /// Ends the task's Duet session after its work completes — "the
+    /// task ends the session when its work is complete by calling
+    /// duet_deregister, which releases all Duet session state" (§3.2).
+    /// Without this, events keep accumulating descriptors that no one
+    /// will ever fetch.
+    fn stop(&mut self, ctx: BtrfsCtx<'_>) -> SimResult<()> {
+        let _ = ctx;
+        Ok(())
+    }
+
+    /// Progress and I/O counters.
+    fn metrics(&self) -> TaskMetrics;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_fractions() {
+        let m = TaskMetrics {
+            total_units: 100,
+            done_units: 50,
+            saved_units: 20,
+            blocks_read: 30,
+            blocks_written: 0,
+        };
+        assert_eq!(m.work_fraction(), 0.5);
+        assert_eq!(m.io_saved_fraction(), 0.2);
+        let empty = TaskMetrics::default();
+        assert_eq!(empty.work_fraction(), 1.0, "no work means done");
+        assert_eq!(empty.io_saved_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! The evaluation harness: wires the simulated storage stack, the Duet
+//! framework, the maintenance tasks and the foreground workload into
+//! complete experiment runs, and computes the paper's metrics.
+//!
+//! - [`config`]: what to run (device, file set, workload, tasks,
+//!   scheduling policy, window);
+//! - [`runner`]: the virtual-time execution loops —
+//!   [`runner::run_experiment`] for the Btrfs tasks (Figures 2, 3, 5–8,
+//!   10 and Table 5), [`runner::run_rsync_experiment`] for Figure 4,
+//!   [`runner::run_gc_experiment`] for Table 6;
+//! - [`metrics`]: the Table 4 metrics — *I/O saved*, *maximum
+//!   utilization* and *speedup*;
+//! - [`presets`]: scaled-down versions of the paper's 50 GB / 300 GB /
+//!   2 GB / 30-minute setup that keep its ratios.
+
+pub mod config;
+pub mod metrics;
+pub mod presets;
+pub mod runner;
+
+pub use config::{DeviceKind, ExperimentConfig, TaskKind};
+pub use metrics::{max_utilization, speedup, ExperimentResult, TaskOutcome};
+pub use presets::paper_scaled;
+pub use runner::{
+    run_experiment,
+    run_gc_experiment,
+    run_rsync_experiment,
+    GcExperimentConfig,
+    GcResult,
+    RsyncResult, //
+};
+
+#[cfg(test)]
+mod runner_tests;

@@ -1,0 +1,198 @@
+//! Experiment results and the paper's evaluation metrics (Table 4).
+
+use duet_tasks::TaskMetrics;
+use sim_core::{SimDuration, SimInstant};
+
+/// Outcome of one maintenance task in a run.
+#[derive(Debug, Clone)]
+pub struct TaskOutcome {
+    /// Task display name (e.g. `"scrub(duet)"`).
+    pub name: String,
+    /// Work/I-O counters.
+    pub metrics: TaskMetrics,
+    /// Whether the task finished within the window.
+    pub completed: bool,
+    /// Virtual time of completion, if it completed.
+    pub completion_time: Option<SimDuration>,
+}
+
+/// Result of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Configured window length.
+    pub duration: SimDuration,
+    /// Foreground device utilization actually achieved (the `%util` of
+    /// §6.1.2, measured over the whole window).
+    pub achieved_util: f64,
+    /// Per-task outcomes.
+    pub tasks: Vec<TaskOutcome>,
+    /// Workload operations executed (0 without a workload).
+    pub workload_ops: u64,
+    /// Maintenance blocks read + written at the device.
+    pub maintenance_blocks: u64,
+    /// Device busy time consumed by maintenance I/O.
+    pub maintenance_busy: sim_core::SimDuration,
+    /// Foreground blocks read + written at the device.
+    pub foreground_blocks: u64,
+    /// Mean foreground operation latency in milliseconds (issue to
+    /// completion), with its 95 % confidence half-width — §6.1.3's
+    /// workload-latency measurement. Zero without a workload.
+    pub workload_latency_ms: (f64, f64),
+    /// Duet bookkeeping statistics, if Duet mode ran.
+    pub duet_stats: Option<duet::DuetStats>,
+    /// Peak Duet memory in bytes (descriptors + bitmaps), if Duet ran.
+    pub duet_peak_memory: u64,
+}
+
+impl ExperimentResult {
+    /// Table 4's **I/O saved**: maintenance I/O avoided, relative to
+    /// the I/O the baseline tasks would have performed, aggregated over
+    /// all tasks in the run.
+    pub fn io_saved(&self) -> f64 {
+        let total: u64 = self.tasks.iter().map(|t| t.metrics.total_units).sum();
+        let saved: u64 = self.tasks.iter().map(|t| t.metrics.saved_units).sum();
+        if total == 0 {
+            0.0
+        } else {
+            saved as f64 / total as f64
+        }
+    }
+
+    /// Fraction of maintenance work completed, aggregated over tasks
+    /// (Figures 6 and 8).
+    pub fn work_completed(&self) -> f64 {
+        let total: u64 = self.tasks.iter().map(|t| t.metrics.total_units).sum();
+        let done: u64 = self.tasks.iter().map(|t| t.metrics.done_units).sum();
+        if total == 0 {
+            1.0
+        } else {
+            (done as f64 / total as f64).min(1.0)
+        }
+    }
+
+    /// Whether every task completed within the window (the Table 5
+    /// criterion).
+    pub fn all_completed(&self) -> bool {
+        self.tasks.iter().all(|t| t.completed)
+    }
+
+    /// Completion time of the slowest task, if all completed.
+    pub fn makespan(&self) -> Option<SimDuration> {
+        self.tasks
+            .iter()
+            .map(|t| t.completion_time)
+            .collect::<Option<Vec<_>>>()
+            .map(|v| v.into_iter().max().unwrap_or(SimDuration::ZERO))
+    }
+}
+
+/// Finds the **maximum utilization** (Table 4): the highest target
+/// utilization, stepped in 10 % intervals, at which `run` reports all
+/// maintenance work completed. Returns the utilization as a fraction
+/// (e.g. 0.7), or `None` if even an idle device fails.
+pub fn max_utilization<F>(mut run: F) -> Option<f64>
+where
+    F: FnMut(f64) -> bool,
+{
+    let mut best = None;
+    for step in 0..=10 {
+        let util = step as f64 / 10.0;
+        if run(util) {
+            best = Some(util);
+        } else if step > 0 {
+            // Completion is monotone in utilization; stop at the first
+            // failure past 0 %.
+            break;
+        }
+    }
+    best
+}
+
+/// The **speedup** metric (Table 4): baseline time over Duet time.
+pub fn speedup(baseline: SimDuration, duet: SimDuration) -> f64 {
+    if duet.is_zero() {
+        return f64::INFINITY;
+    }
+    baseline.as_secs_f64() / duet.as_secs_f64()
+}
+
+/// Helper: duration from the epoch to `t`.
+pub fn since_epoch(t: SimInstant) -> SimDuration {
+    t.saturating_duration_since(SimInstant::EPOCH)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(total: u64, done: u64, saved: u64, completed: bool) -> TaskOutcome {
+        TaskOutcome {
+            name: "t".into(),
+            metrics: TaskMetrics {
+                total_units: total,
+                done_units: done,
+                saved_units: saved,
+                blocks_read: 0,
+                blocks_written: 0,
+            },
+            completed,
+            completion_time: completed.then(|| SimDuration::from_secs(10)),
+        }
+    }
+
+    fn result(tasks: Vec<TaskOutcome>) -> ExperimentResult {
+        ExperimentResult {
+            duration: SimDuration::from_mins(5),
+            achieved_util: 0.5,
+            tasks,
+            workload_ops: 0,
+            maintenance_blocks: 0,
+            maintenance_busy: sim_core::SimDuration::ZERO,
+            foreground_blocks: 0,
+            workload_latency_ms: (0.0, 0.0),
+            duet_stats: None,
+            duet_peak_memory: 0,
+        }
+    }
+
+    #[test]
+    fn aggregate_metrics() {
+        let r = result(vec![
+            outcome(100, 100, 30, true),
+            outcome(100, 50, 10, false),
+        ]);
+        assert!((r.io_saved() - 0.2).abs() < 1e-12);
+        assert!((r.work_completed() - 0.75).abs() < 1e-12);
+        assert!(!r.all_completed());
+        assert_eq!(r.makespan(), None);
+        let done = result(vec![outcome(10, 10, 0, true)]);
+        assert!(done.all_completed());
+        assert_eq!(done.makespan(), Some(SimDuration::from_secs(10)));
+    }
+
+    #[test]
+    fn empty_run_is_trivially_complete() {
+        let r = result(vec![]);
+        assert_eq!(r.io_saved(), 0.0);
+        assert_eq!(r.work_completed(), 1.0);
+        assert!(r.all_completed());
+    }
+
+    #[test]
+    fn max_utilization_search() {
+        // Completes up to 70 %.
+        let got = max_utilization(|u| u <= 0.7 + 1e-9);
+        assert_eq!(got, Some(0.7));
+        // Never completes.
+        assert_eq!(max_utilization(|_| false), None);
+        // Always completes.
+        assert_eq!(max_utilization(|_| true), Some(1.0));
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let s = speedup(SimDuration::from_secs(20), SimDuration::from_secs(10));
+        assert!((s - 2.0).abs() < 1e-12);
+        assert!(speedup(SimDuration::from_secs(1), SimDuration::ZERO).is_infinite());
+    }
+}

@@ -1,0 +1,119 @@
+//! Scaled presets of the paper's experimental setup (§6.1.3).
+//!
+//! The paper populates 50 GB of data on a 300 GB drive, boots with 2 GB
+//! of RAM and runs each experiment for 30 minutes. A faithful
+//! reproduction keeps the *ratios* (data : device : cache : window)
+//! while shrinking absolute sizes so a full parameter sweep runs in
+//! seconds. [`paper_scaled`] produces a configuration at `1/scale` of
+//! the paper's magnitudes; the bench harness uses `scale = 32` by
+//! default (≈1.6 GB of data, ≈56 s window), and tests use larger
+//! scale-downs.
+
+use crate::config::{DeviceKind, ExperimentConfig, TaskKind};
+use sim_core::{SimDuration, PAGE_SIZE};
+use sim_disk::SchedulerPolicy;
+use workloads::{DistKind, FileSetConfig, Personality, WorkloadConfig};
+
+/// Paper magnitudes.
+const PAPER_DATA_BYTES: u64 = 50 << 30; // 50 GB file set
+const PAPER_DEVICE_BYTES: u64 = 300 << 30; // 300 GB drive
+const PAPER_CACHE_BYTES: u64 = 2 << 30; // 2 GB RAM
+const PAPER_WINDOW_SECS: u64 = 30 * 60; // 30 minutes
+
+/// Builds an [`ExperimentConfig`] at `1/scale` of the paper's setup.
+///
+/// `utilization` is the foreground target (0 disables the workload);
+/// `coverage` is the data-overlap knob.
+pub fn paper_scaled(
+    scale: u64,
+    personality: Personality,
+    dist: DistKind,
+    coverage: f64,
+    utilization: f64,
+    tasks: Vec<TaskKind>,
+    duet: bool,
+) -> ExperimentConfig {
+    assert!(scale >= 1);
+    let data_bytes = PAPER_DATA_BYTES / scale;
+    // 1 MiB mean files give the foreground throughput regime the paper's
+    // evaluation operates in (whole-file reads stream at near-media
+    // rates, so a busy workload covers the data set several times per
+    // window).
+    let mean_file = 1024 * 1024u64;
+    let num_files = (data_bytes / mean_file).max(16) as usize;
+    let capacity_blocks = (PAPER_DEVICE_BYTES / scale) / PAGE_SIZE;
+    let cache_pages = ((PAPER_CACHE_BYTES / scale) / PAGE_SIZE).max(256) as usize;
+    let workload = (utilization > 0.0).then(|| WorkloadConfig {
+        personality,
+        dist,
+        coverage,
+        target_util: utilization,
+        burst: 16,
+        append_bytes: 16 * 1024,
+        seed: 42,
+    });
+    ExperimentConfig {
+        device: DeviceKind::Hdd,
+        capacity_blocks,
+        cache_pages,
+        fileset: FileSetConfig {
+            num_files,
+            mean_file_bytes: mean_file,
+            sigma: 0.5,
+        },
+        workload,
+        tasks,
+        duet,
+        policy: SchedulerPolicy::default_cfq(),
+        duration: SimDuration::from_secs(PAPER_WINDOW_SECS / scale),
+        fragmentation: None,
+        poll_period: SimDuration::from_millis(20),
+        defrag_file_granularity: false,
+        informed_replacement: false,
+        scatter_layout: true,
+        seed: 42,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_are_preserved() {
+        let cfg = paper_scaled(
+            64,
+            Personality::WebServer,
+            DistKind::Uniform,
+            1.0,
+            0.5,
+            vec![TaskKind::Scrub],
+            true,
+        );
+        let data = cfg.fileset.num_files as u64 * cfg.fileset.mean_file_bytes;
+        let device = cfg.capacity_blocks * PAGE_SIZE;
+        let cache = cfg.cache_pages as u64 * PAGE_SIZE;
+        // device : data ≈ 6, data : cache ≈ 25 (paper: 300/50 and 50/2).
+        let dd = device as f64 / data as f64;
+        let dc = data as f64 / cache as f64;
+        assert!((4.0..8.0).contains(&dd), "device/data {dd}");
+        assert!((15.0..35.0).contains(&dc), "data/cache {dc}");
+        assert_eq!(cfg.duration, SimDuration::from_secs(28));
+        assert!(cfg.workload.is_some());
+    }
+
+    #[test]
+    fn zero_utilization_has_no_workload() {
+        let cfg = paper_scaled(
+            64,
+            Personality::WebServer,
+            DistKind::Uniform,
+            1.0,
+            0.0,
+            vec![TaskKind::Scrub, TaskKind::Backup],
+            true,
+        );
+        assert!(cfg.workload.is_none());
+        assert_eq!(cfg.tasks.len(), 2);
+    }
+}

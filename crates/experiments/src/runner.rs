@@ -1,0 +1,543 @@
+//! The experiment runner: interleaves the foreground workload with
+//! maintenance task steps in virtual time.
+//!
+//! The runner reproduces the paper's execution regime (§6.1.3): the
+//! workload issues foreground operations on its throttle schedule, and
+//! maintenance tasks run "at Idle priority... serviced only after the
+//! device has remained idle for some time" — i.e. a task step is
+//! dispatched only when the scheduling policy allows it, in the gaps
+//! the workload leaves. Rsync is the exception (§6.2): it runs at
+//! normal priority, head-to-head with an unthrottled workload.
+
+use crate::config::{DeviceKind, ExperimentConfig, TaskKind};
+use crate::metrics::{since_epoch, ExperimentResult, TaskOutcome};
+use duet::Duet;
+use duet_tasks::{
+    pump_btrfs,
+    pump_f2fs,
+    Backup,
+    BtrfsCtx,
+    BtrfsTask,
+    Defrag,
+    GarbageCollector,
+    GcCtx,
+    Rsync,
+    RsyncCtx,
+    Scrubber,
+    TaskMode, //
+};
+use sim_btrfs::BtrfsSim;
+use sim_core::{SimDuration, SimInstant, SimResult, SimRng};
+use sim_disk::{Disk, HddModel, IoClass, SchedulerPolicy, SsdModel};
+use sim_f2fs::{F2fsSim, VictimPolicy};
+use workloads::{populate_fileset, Workload, WorkloadFs};
+
+/// Dirty pages beyond this fraction of the cache force writeback.
+const WB_HIGH_FRACTION: usize = 8; // 1/8 of the cache
+/// Background flusher period.
+const WB_PERIOD: SimDuration = SimDuration::from_secs(1);
+/// Pages per writeback batch.
+const WB_BATCH: usize = 1024;
+
+fn build_disk(kind: DeviceKind, capacity: u64) -> Disk {
+    match kind {
+        DeviceKind::Hdd => Disk::new(Box::new(HddModel::sas_10k(capacity))),
+        DeviceKind::Ssd => Disk::new(Box::new(SsdModel::intel_510(capacity))),
+    }
+}
+
+fn build_task(kind: TaskKind, mode: TaskMode, cfg: &ExperimentConfig) -> Box<dyn BtrfsTask> {
+    match kind {
+        TaskKind::Scrub => Box::new(Scrubber::new(mode)),
+        TaskKind::Backup => Box::new(Backup::new(mode)),
+        TaskKind::Defrag => {
+            // On an aged (scattered) filesystem every file carries a few
+            // extents from relocation; "fragmented" means worse than
+            // that baseline, so only the explicitly fragmented files
+            // (the paper's 10 %) count as defragmentation work.
+            let threshold = if cfg.scatter_layout { 4 } else { 1 };
+            let mut d = Defrag::new(mode).with_threshold(threshold);
+            if cfg.defrag_file_granularity {
+                d = d.with_file_granularity();
+            }
+            Box::new(d)
+        }
+    }
+}
+
+/// Flushes dirty pages when due; returns the updated last-writeback
+/// time.
+fn maybe_writeback(
+    fs: &mut BtrfsSim,
+    duet: &mut Duet,
+    now: SimInstant,
+    last_wb: SimInstant,
+) -> SimResult<SimInstant> {
+    let due = fs.dirty_pages() > fs.cache().capacity() / WB_HIGH_FRACTION
+        || (now.saturating_duration_since(last_wb) >= WB_PERIOD && fs.dirty_pages() > 0);
+    if due {
+        fs.background_writeback(WB_BATCH, IoClass::Normal, now)?;
+        pump_btrfs(fs, duet);
+        Ok(now)
+    } else {
+        Ok(last_wb)
+    }
+}
+
+/// Runs one Btrfs-model experiment to completion of the window (or of
+/// all maintenance work, when there is no foreground workload).
+pub fn run_experiment(cfg: &ExperimentConfig) -> SimResult<ExperimentResult> {
+    let disk = build_disk(cfg.device, cfg.capacity_blocks);
+    let mut fs = BtrfsSim::new(sim_core::DeviceId(0), disk, cfg.cache_pages);
+    let mut duet = Duet::with_defaults();
+
+    // Population (free of simulated I/O).
+    let mut workload = match cfg.workload {
+        Some(wcfg) => Some(Workload::setup(&mut fs, wcfg, cfg.fileset)?),
+        None => {
+            populate_fileset(&mut fs, cfg.fileset, cfg.seed)?;
+            None
+        }
+    };
+    // Layout aging: relocate files in random order and split them into
+    // ~256 KiB extents. Inode order no longer matches physical order,
+    // and a logical (per-file) pass seeks every few extents — which is
+    // why the paper's backup is about half as fast as the physically
+    // sequential scrubber (§6.2). Scrubbing is unaffected: its scan
+    // follows physical order regardless of extent ownership.
+    if cfg.scatter_layout {
+        let mut files = fs.inodes().files_by_inode();
+        let mut rng = SimRng::new(cfg.seed.wrapping_add(0x5CA7));
+        rng.shuffle(&mut files);
+        for ino in files {
+            let pages = fs.inodes().get(ino)?.size_pages();
+            let pieces = (pages / 64).clamp(1, 4);
+            fs.fragment_file(ino, pieces)?;
+        }
+    }
+    // Pre-fragmentation for the defragmentation experiments.
+    if let Some((fraction, pieces)) = cfg.fragmentation {
+        let files = fs.inodes().files_by_inode();
+        let mut rng = SimRng::new(cfg.seed.wrapping_add(0xF7A6));
+        let k = ((files.len() as f64 * fraction).round() as usize).min(files.len());
+        let mut order: Vec<_> = files.clone();
+        rng.shuffle(&mut order);
+        for &ino in &order[..k] {
+            fs.fragment_file(ino, pieces)?;
+        }
+    }
+    fs.cache_mut().drain_events();
+    fs.drain_fs_events();
+    fs.disk_mut().reset_metrics();
+
+    // Task setup (Duet registration scans run here).
+    let mode = if cfg.duet {
+        TaskMode::Duet
+    } else {
+        TaskMode::Baseline
+    };
+    let mut tasks: Vec<Box<dyn BtrfsTask>> = cfg
+        .tasks
+        .iter()
+        .map(|&k| build_task(k, mode, cfg))
+        .collect();
+    for t in tasks.iter_mut() {
+        t.start(BtrfsCtx {
+            fs: &mut fs,
+            duet: &mut duet,
+            now: SimInstant::EPOCH,
+        })?;
+        pump_btrfs(&mut fs, &mut duet);
+    }
+
+    // Main loop.
+    let end = cfg.end();
+    let mut now = SimInstant::EPOCH;
+    let mut last_wb = now;
+    let mut last_poll = now;
+    let mut last_protect = now;
+    let mut completion: Vec<Option<SimInstant>> = vec![None; tasks.len()];
+    let mut rr = 0usize; // Round-robin cursor over incomplete tasks.
+    let mut peak_memory = 0u64;
+    let mut iter = 0u64;
+    while now < end {
+        iter += 1;
+        if iter % 256 == 0 && cfg.duet {
+            peak_memory = peak_memory.max(duet.memory_bytes());
+        }
+        last_wb = maybe_writeback(&mut fs, &mut duet, now, last_wb)?;
+        // Periodic hint polling (CPU-only, independent of disk state);
+        // the paper's tasks fetch every 10–40 ms (§6.4).
+        if now.saturating_duration_since(last_poll) >= cfg.poll_period {
+            for (i, t) in tasks.iter_mut().enumerate() {
+                if completion[i].is_none() {
+                    t.poll(BtrfsCtx {
+                        fs: &mut fs,
+                        duet: &mut duet,
+                        now,
+                    })?;
+                }
+            }
+            last_poll = now;
+        }
+        // Informed replacement: the *framework* (not the tasks) refreshes
+        // the advisory protection set from still-pending notifications on
+        // its own fast cadence — in the kernel this would happen in the
+        // event hooks themselves.
+        if cfg.informed_replacement
+            && now.saturating_duration_since(last_protect) >= SimDuration::from_millis(10)
+        {
+            let max = cfg.cache_pages / 4;
+            let pending = duet.pending_pages(max);
+            fs.cache_mut().set_protected(pending, max);
+            last_protect = now;
+        }
+        // Foreground operation due?
+        let next_wl = workload.as_ref().map(|w| w.next_op_time());
+        if let Some(t) = next_wl {
+            if t <= now {
+                let w = workload.as_mut().expect("checked above");
+                w.run_op(&mut fs, now)?;
+                pump_btrfs(&mut fs, &mut duet);
+                continue;
+            }
+        }
+        // Maintenance dispatch in the idle gap.
+        let incomplete: Vec<usize> = (0..tasks.len())
+            .filter(|&i| completion[i].is_none())
+            .collect();
+        let device_free = fs.disk().busy_until();
+        if !incomplete.is_empty()
+            && fs.disk().is_idle_at(now)
+            && cfg
+                .policy
+                .may_dispatch_maintenance(now, device_free, next_wl)
+        {
+            let i = incomplete[rr % incomplete.len()];
+            rr += 1;
+            let r = tasks[i].step(BtrfsCtx {
+                fs: &mut fs,
+                duet: &mut duet,
+                now,
+            })?;
+            pump_btrfs(&mut fs, &mut duet);
+            if r.complete {
+                completion[i] = Some(r.finish);
+                // Work done: release the Duet session (§3.2), so the
+                // framework stops tracking events for this task.
+                tasks[i].stop(BtrfsCtx {
+                    fs: &mut fs,
+                    duet: &mut duet,
+                    now,
+                })?;
+            }
+            continue;
+        }
+        // Nothing runnable at `now`: advance virtual time.
+        if incomplete.is_empty() && next_wl.is_none() {
+            break; // All work done, no workload: the run is over.
+        }
+        let mut next = end;
+        if let Some(t) = next_wl {
+            next = next.min(t);
+        }
+        if !incomplete.is_empty() {
+            let dispatch_at = cfg
+                .policy
+                .earliest_maintenance_dispatch(now, device_free)
+                .max(device_free);
+            next = next.min(dispatch_at);
+            // Wake for the next hint poll even while I/O is blocked.
+            next = next.min(last_poll + cfg.poll_period);
+        }
+        // Guarantee progress.
+        now = next.max(now + SimDuration::from_nanos(1));
+    }
+    if cfg.duet {
+        peak_memory = peak_memory.max(duet.memory_bytes());
+    }
+    // Final bookkeeping drain: opportunistic work completed by the last
+    // burst of foreground activity must show up in the metrics.
+    for t in tasks.iter_mut() {
+        t.finalize(BtrfsCtx {
+            fs: &mut fs,
+            duet: &mut duet,
+            now,
+        })?;
+    }
+
+    // Collect outcomes.
+    let outcomes: Vec<TaskOutcome> = tasks
+        .iter()
+        .zip(&completion)
+        .map(|(t, c)| TaskOutcome {
+            name: t.name(),
+            metrics: t.metrics(),
+            completed: c.is_some(),
+            completion_time: c.map(since_epoch),
+        })
+        .collect();
+    let m = fs.disk().metrics();
+    let lat = workload
+        .as_ref()
+        .map(|w| (w.latency_ms().mean(), w.latency_ms().ci95()))
+        .unwrap_or((0.0, 0.0));
+    Ok(ExperimentResult {
+        duration: cfg.duration,
+        achieved_util: fs.disk().foreground_utilization(cfg.duration),
+        tasks: outcomes,
+        workload_ops: workload.as_ref().map(|w| w.stats().ops).unwrap_or(0),
+        maintenance_blocks: m.idle.blocks(),
+        maintenance_busy: m.idle.busy_time,
+        foreground_blocks: m.normal.blocks(),
+        workload_latency_ms: lat,
+        duet_stats: cfg.duet.then(|| duet.stats()),
+        duet_peak_memory: peak_memory,
+    })
+}
+
+/// Result of an rsync run (Figure 4).
+#[derive(Debug, Clone)]
+pub struct RsyncResult {
+    /// Time to synchronize everything.
+    pub completion: SimDuration,
+    /// Task counters.
+    pub metrics: duet_tasks::TaskMetrics,
+    /// Foreground operations executed during the transfer.
+    pub workload_ops: u64,
+    /// Foreground bytes read+written during the transfer (for the
+    /// workload-impact measurement).
+    pub workload_bytes: u64,
+}
+
+/// Runs rsync (normal I/O priority) against an unthrottled foreground
+/// workload on the source device, as in §6.2: one workload operation
+/// and one rsync chunk alternate until the transfer completes.
+pub fn run_rsync_experiment(cfg: &ExperimentConfig, duet_mode: bool) -> SimResult<RsyncResult> {
+    let src_disk = build_disk(cfg.device, cfg.capacity_blocks);
+    let dst_disk = build_disk(cfg.device, cfg.capacity_blocks);
+    let mut src = BtrfsSim::new(sim_core::DeviceId(0), src_disk, cfg.cache_pages);
+    let mut dst = BtrfsSim::new(sim_core::DeviceId(1), dst_disk, cfg.cache_pages);
+    let mut duet = Duet::with_defaults();
+    let mut workload = match cfg.workload {
+        Some(wcfg) => Some(Workload::setup(&mut src, wcfg, cfg.fileset)?),
+        None => {
+            populate_fileset(&mut src, cfg.fileset, cfg.seed)?;
+            None
+        }
+    };
+    src.cache_mut().drain_events();
+    src.drain_fs_events();
+    src.disk_mut().reset_metrics();
+    let mode = if duet_mode {
+        TaskMode::Duet
+    } else {
+        TaskMode::Baseline
+    };
+    let mut rsync = Rsync::new(mode, src.root());
+    rsync.start(RsyncCtx {
+        src: &mut src,
+        dst: &mut dst,
+        duet: &mut duet,
+        now: SimInstant::EPOCH,
+    })?;
+    pump_btrfs(&mut src, &mut duet);
+
+    let mut now = SimInstant::EPOCH;
+    let mut last_wb = now;
+    let hard_end = SimInstant::EPOCH + cfg.duration * 20; // Safety cap.
+    let completion;
+    loop {
+        last_wb = maybe_writeback(&mut src, &mut duet, now, last_wb)?;
+        // One foreground op (unthrottled workloads go back to back).
+        if let Some(w) = workload.as_mut() {
+            let t = w.next_op_time().max(now);
+            w.run_op(&mut src, t)?;
+            pump_btrfs(&mut src, &mut duet);
+        }
+        // One rsync chunk, competing at normal priority.
+        let r = rsync.step(RsyncCtx {
+            src: &mut src,
+            dst: &mut dst,
+            duet: &mut duet,
+            now,
+        })?;
+        pump_btrfs(&mut src, &mut duet);
+        now = now
+            .max(r.finish)
+            .max(workload.as_ref().map(|w| w.next_op_time()).unwrap_or(now));
+        if r.complete {
+            completion = r.finish;
+            break;
+        }
+        if now >= hard_end {
+            completion = now;
+            break;
+        }
+    }
+    let wl_stats = workload.as_ref().map(|w| w.stats());
+    Ok(RsyncResult {
+        completion: since_epoch(completion),
+        metrics: rsync.metrics(),
+        workload_ops: wl_stats.map(|s| s.ops).unwrap_or(0),
+        workload_bytes: wl_stats
+            .map(|s| s.bytes_read + s.bytes_written)
+            .unwrap_or(0),
+    })
+}
+
+/// Configuration of an F2fs garbage-collection run (Table 6).
+#[derive(Debug, Clone)]
+pub struct GcExperimentConfig {
+    /// Number of segments on the device.
+    pub nsegs: u32,
+    /// Blocks per segment.
+    pub seg_blocks: u64,
+    /// Page-cache pages.
+    pub cache_pages: usize,
+    /// File set (populated before the run).
+    pub fileset: workloads::FileSetConfig,
+    /// Foreground workload (the paper uses fileserver, §6.2).
+    pub workload: workloads::WorkloadConfig,
+    /// Duet-enabled cleaner?
+    pub duet: bool,
+    /// Victim-selection policy.
+    pub victim_policy: VictimPolicy,
+    /// Victim-selection window (the paper's 4096; smaller when scaled
+    /// down).
+    pub gc_window: u32,
+    /// Minimum virtual time between cleaner invocations.
+    pub gc_interval: SimDuration,
+    /// Scheduling policy for cleaner I/O.
+    pub policy: SchedulerPolicy,
+    /// Window length.
+    pub duration: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Result of a GC run.
+#[derive(Debug, Clone)]
+pub struct GcResult {
+    /// Mean segment-cleaning time in milliseconds (Table 6's statistic).
+    pub mean_cleaning_ms: f64,
+    /// Mean foreground op latency in ms with its 95 % CI half-width —
+    /// used by the §6.2 SSR-pressure measurement.
+    pub workload_latency_ms: (f64, f64),
+    /// Whether the filesystem ended the run in SSR mode (out of clean
+    /// segments).
+    pub ended_in_ssr: bool,
+    /// Foreground operations executed.
+    pub workload_ops: u64,
+    /// Number of segments cleaned.
+    pub cleanings: usize,
+    /// Mean cached valid blocks per cleaned segment.
+    pub mean_cached: f64,
+    /// Mean valid blocks per cleaned segment.
+    pub mean_valid: f64,
+    /// Achieved foreground utilization.
+    pub achieved_util: f64,
+}
+
+/// Runs the F2fs cleaner under a foreground workload (Table 6).
+pub fn run_gc_experiment(cfg: &GcExperimentConfig) -> SimResult<GcResult> {
+    let capacity = cfg.nsegs as u64 * cfg.seg_blocks;
+    let disk = Disk::new(Box::new(HddModel::sas_10k(capacity)));
+    let mut fs = F2fsSim::new(sim_core::DeviceId(1), disk, cfg.cache_pages, cfg.seg_blocks);
+    let mut duet = Duet::with_defaults();
+    let mut workload = Workload::setup(&mut fs, cfg.workload, cfg.fileset)?;
+    fs.cache_mut().drain_events();
+    fs.disk_mut().reset_metrics();
+    let mode = if cfg.duet {
+        TaskMode::Duet
+    } else {
+        TaskMode::Baseline
+    };
+    let mut gc = GarbageCollector::new(mode, cfg.victim_policy).with_window(cfg.gc_window);
+    gc.start(GcCtx {
+        fs: &mut fs,
+        duet: &mut duet,
+        now: SimInstant::EPOCH,
+    })?;
+    pump_f2fs(&mut fs, &mut duet);
+
+    let end = SimInstant::EPOCH + cfg.duration;
+    let mut now = SimInstant::EPOCH;
+    let mut last_wb = now;
+    let mut last_gc = SimInstant::EPOCH;
+    let mut first_gc_done = false;
+    while now < end {
+        // Writeback.
+        let wb_due = fs.dirty_pages() > fs.cache().capacity() / WB_HIGH_FRACTION
+            || (now.saturating_duration_since(last_wb) >= WB_PERIOD && fs.dirty_pages() > 0);
+        if wb_due {
+            fs.background_writeback(WB_BATCH, IoClass::Normal, now)?;
+            pump_f2fs(&mut fs, &mut duet);
+            last_wb = now;
+        }
+        let next_wl = workload.next_op_time();
+        if next_wl <= now {
+            workload.run_op(&mut fs, now)?;
+            pump_f2fs(&mut fs, &mut duet);
+            continue;
+        }
+        let device_free = fs.disk().busy_until();
+        let gc_due = !first_gc_done || now.saturating_duration_since(last_gc) >= cfg.gc_interval;
+        if gc_due
+            && fs.disk().is_idle_at(now)
+            && cfg
+                .policy
+                .may_dispatch_maintenance(now, device_free, Some(next_wl))
+        {
+            gc.step(GcCtx {
+                fs: &mut fs,
+                duet: &mut duet,
+                now,
+            })?;
+            pump_f2fs(&mut fs, &mut duet);
+            last_gc = now;
+            first_gc_done = true;
+            continue;
+        }
+        let mut next = next_wl.min(end);
+        let dispatch_at = cfg
+            .policy
+            .earliest_maintenance_dispatch(now, device_free)
+            .max(device_free)
+            .max(last_gc + cfg.gc_interval);
+        next = next.min(dispatch_at);
+        now = next.max(now + SimDuration::from_nanos(1));
+    }
+    let n = gc.results.len();
+    let mean_cached = if n == 0 {
+        0.0
+    } else {
+        gc.results
+            .iter()
+            .map(|r| r.cached_blocks as f64)
+            .sum::<f64>()
+            / n as f64
+    };
+    let mean_valid = if n == 0 {
+        0.0
+    } else {
+        gc.results
+            .iter()
+            .map(|r| r.valid_blocks as f64)
+            .sum::<f64>()
+            / n as f64
+    };
+    Ok(GcResult {
+        mean_cleaning_ms: gc.mean_cleaning_ms(),
+        workload_latency_ms: (workload.latency_ms().mean(), workload.latency_ms().ci95()),
+        ended_in_ssr: fs.is_ssr(),
+        workload_ops: workload.stats().ops,
+        cleanings: n,
+        mean_cached,
+        mean_valid,
+        achieved_util: {
+            let elapsed = cfg.duration;
+            fs.foreground_busy().as_secs_f64() / elapsed.as_secs_f64()
+        },
+    })
+}

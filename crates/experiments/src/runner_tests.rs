@@ -1,0 +1,274 @@
+//! End-to-end tests of the experiment runner at small scale.
+
+use crate::config::{DeviceKind, ExperimentConfig, TaskKind};
+use crate::metrics::max_utilization;
+use crate::runner::{run_experiment, run_gc_experiment, run_rsync_experiment, GcExperimentConfig};
+use sim_core::SimDuration;
+use sim_disk::SchedulerPolicy;
+use sim_f2fs::VictimPolicy;
+use workloads::{DistKind, FileSetConfig, Personality, WorkloadConfig};
+
+/// A small configuration: ~32 MB of data, 2 MB cache, 20 s window.
+fn small_cfg(tasks: Vec<TaskKind>, duet: bool, util: f64) -> ExperimentConfig {
+    ExperimentConfig {
+        device: DeviceKind::Hdd,
+        capacity_blocks: 1 << 16, // 256 MiB
+        cache_pages: 512,         // 2 MiB
+        fileset: FileSetConfig {
+            num_files: 256,
+            mean_file_bytes: 128 * 1024,
+            sigma: 0.4,
+        },
+        workload: (util > 0.0).then(|| WorkloadConfig {
+            personality: Personality::WebServer,
+            dist: DistKind::Uniform,
+            coverage: 1.0,
+            target_util: util,
+            burst: 8,
+            append_bytes: 16 * 1024,
+            seed: 7,
+        }),
+        tasks,
+        duet,
+        policy: SchedulerPolicy::default_cfq(),
+        duration: SimDuration::from_secs(20),
+        fragmentation: None,
+        poll_period: SimDuration::from_millis(20),
+        defrag_file_granularity: false,
+        informed_replacement: false,
+        scatter_layout: true,
+        seed: 7,
+    }
+}
+
+#[test]
+fn idle_device_scrub_completes_with_no_savings() {
+    let r = run_experiment(&small_cfg(vec![TaskKind::Scrub], false, 0.0)).unwrap();
+    assert!(r.all_completed(), "scrub on an idle device must finish");
+    assert_eq!(r.io_saved(), 0.0, "baseline saves nothing");
+    assert_eq!(r.work_completed(), 1.0);
+    assert!(r.maintenance_blocks > 0);
+    assert_eq!(r.foreground_blocks, 0);
+    assert_eq!(r.workload_ops, 0);
+}
+
+#[test]
+fn duet_scrub_under_workload_saves_io() {
+    let base = run_experiment(&small_cfg(vec![TaskKind::Scrub], false, 0.4)).unwrap();
+    let duet = run_experiment(&small_cfg(vec![TaskKind::Scrub], true, 0.4)).unwrap();
+    assert!(duet.io_saved() > 0.05, "duet saved {:.3}", duet.io_saved());
+    assert!(base.io_saved() == 0.0);
+    // Duet performs less maintenance I/O for the same work.
+    if base.all_completed() && duet.all_completed() {
+        assert!(
+            duet.maintenance_blocks < base.maintenance_blocks,
+            "duet {} vs base {}",
+            duet.maintenance_blocks,
+            base.maintenance_blocks
+        );
+    }
+    // Utilization throttle roughly hit its target.
+    assert!(
+        (0.25..0.55).contains(&duet.achieved_util),
+        "util {:.3}",
+        duet.achieved_util
+    );
+}
+
+#[test]
+fn scrub_and_backup_collaborate_without_workload() {
+    // §6.3: "even when Filebench is not run (0% utilization), Duet
+    // reduces the total I/O needed to complete maintenance work by at
+    // least 50%" — one pass over the data serves both tasks.
+    let r = run_experiment(&small_cfg(
+        vec![TaskKind::Scrub, TaskKind::Backup],
+        true,
+        0.0,
+    ))
+    .unwrap();
+    assert!(r.all_completed());
+    assert!(
+        r.io_saved() > 0.40,
+        "cross-task synergy saved only {:.3}",
+        r.io_saved()
+    );
+    let base = run_experiment(&small_cfg(
+        vec![TaskKind::Scrub, TaskKind::Backup],
+        false,
+        0.0,
+    ))
+    .unwrap();
+    assert!(base.all_completed());
+    assert!(
+        r.maintenance_blocks < base.maintenance_blocks * 3 / 4,
+        "duet {} vs base {}",
+        r.maintenance_blocks,
+        base.maintenance_blocks
+    );
+}
+
+#[test]
+fn defrag_runs_on_fragmented_fs() {
+    let mut cfg = small_cfg(vec![TaskKind::Defrag], true, 0.0);
+    cfg.fragmentation = Some((0.1, 5));
+    let r = run_experiment(&cfg).unwrap();
+    assert!(r.all_completed());
+    assert!(
+        r.tasks[0].metrics.total_units > 0,
+        "some files were fragmented"
+    );
+    assert!(r.maintenance_blocks > 0);
+}
+
+#[test]
+fn higher_utilization_slows_maintenance() {
+    let lo = run_experiment(&small_cfg(vec![TaskKind::Backup], false, 0.2)).unwrap();
+    let hi = run_experiment(&small_cfg(vec![TaskKind::Backup], false, 0.8)).unwrap();
+    assert!(
+        hi.work_completed() <= lo.work_completed() + 1e-9,
+        "hi {:.3} vs lo {:.3}",
+        hi.work_completed(),
+        lo.work_completed()
+    );
+}
+
+#[test]
+fn max_utilization_improves_with_duet() {
+    let run_mode = |duet: bool, util: f64| -> bool {
+        run_experiment(&small_cfg(vec![TaskKind::Backup], duet, util))
+            .unwrap()
+            .all_completed()
+    };
+    let base = max_utilization(|u| run_mode(false, u));
+    let duet = max_utilization(|u| run_mode(true, u));
+    let b = base.expect("baseline completes on an idle device");
+    let d = duet.expect("duet completes on an idle device");
+    assert!(d >= b, "duet max util {d} < baseline {b}");
+}
+
+#[test]
+fn rsync_duet_speeds_up_transfer() {
+    let mut cfg = small_cfg(vec![], false, 1.0);
+    cfg.duration = SimDuration::from_secs(60);
+    let base = run_rsync_experiment(&cfg, false).unwrap();
+    let duet = run_rsync_experiment(&cfg, true).unwrap();
+    assert_eq!(base.metrics.done_units, base.metrics.total_units);
+    assert_eq!(duet.metrics.done_units, duet.metrics.total_units);
+    let s = crate::metrics::speedup(base.completion, duet.completion);
+    assert!(s >= 1.0, "speedup {s:.2}");
+    assert!(duet.metrics.saved_units >= base.metrics.saved_units);
+}
+
+#[test]
+fn ssd_experiment_runs() {
+    let mut cfg = small_cfg(vec![TaskKind::Scrub], true, 0.4);
+    cfg.device = DeviceKind::Ssd;
+    let r = run_experiment(&cfg).unwrap();
+    assert!(r.work_completed() > 0.9);
+}
+
+#[test]
+fn gc_experiment_duet_cleans_faster_or_equal() {
+    let gc_cfg = |duet: bool| GcExperimentConfig {
+        nsegs: 256,
+        seg_blocks: 256, // 1 MiB segments
+        cache_pages: 2048,
+        fileset: FileSetConfig {
+            num_files: 128,
+            mean_file_bytes: 256 * 1024,
+            sigma: 0.3,
+        },
+        workload: WorkloadConfig {
+            personality: Personality::FileServer,
+            dist: DistKind::Uniform,
+            coverage: 1.0,
+            target_util: 0.5,
+            burst: 8,
+            append_bytes: 16 * 1024,
+            seed: 3,
+        },
+        duet,
+        victim_policy: VictimPolicy::Greedy,
+        gc_window: 256,
+        gc_interval: SimDuration::from_millis(100),
+        policy: SchedulerPolicy::default_cfq(),
+        duration: SimDuration::from_secs(30),
+        seed: 3,
+    };
+    let base = run_gc_experiment(&gc_cfg(false)).unwrap();
+    let duet = run_gc_experiment(&gc_cfg(true)).unwrap();
+    assert!(base.cleanings > 0, "baseline cleaned nothing");
+    assert!(duet.cleanings > 0, "duet cleaned nothing");
+    assert!(
+        duet.mean_cleaning_ms <= base.mean_cleaning_ms * 1.25,
+        "duet {:.2}ms vs base {:.2}ms",
+        duet.mean_cleaning_ms,
+        base.mean_cleaning_ms
+    );
+    assert!(duet.mean_cached >= 0.0);
+}
+
+#[test]
+fn informed_replacement_never_hurts_savings() {
+    // The future-work extension must at minimum not reduce savings.
+    let mut plain = small_cfg(vec![TaskKind::Backup], true, 0.5);
+    plain.informed_replacement = false;
+    let mut informed = plain.clone();
+    informed.informed_replacement = true;
+    let a = run_experiment(&plain).unwrap();
+    let b = run_experiment(&informed).unwrap();
+    assert!(
+        b.io_saved() + 0.05 >= a.io_saved(),
+        "informed {:.3} vs plain {:.3}",
+        b.io_saved(),
+        a.io_saved()
+    );
+}
+
+#[test]
+fn skewed_distribution_reduces_savings() {
+    // §6.2: "when the skewed file access distribution is used ...
+    // savings are decreased" — most accesses hit few files, so fewer
+    // distinct blocks get verified for free.
+    let mut uni = small_cfg(vec![TaskKind::Scrub], true, 0.6);
+    uni.scatter_layout = true;
+    let mut skew = uni.clone();
+    skew.workload.as_mut().unwrap().dist = DistKind::MsTrace(2);
+    let a = run_experiment(&uni).unwrap();
+    let b = run_experiment(&skew).unwrap();
+    assert!(
+        b.io_saved() <= a.io_saved() + 0.02,
+        "skewed {:.3} should not beat uniform {:.3}",
+        b.io_saved(),
+        a.io_saved()
+    );
+}
+
+#[test]
+fn no_priority_policy_reduces_savings() {
+    // §6.5: without I/O prioritization maintenance finishes faster but
+    // the workload issues fewer requests, reducing I/O saved.
+    let mut cfq = small_cfg(vec![TaskKind::Scrub], true, 0.6);
+    cfq.policy = SchedulerPolicy::default_cfq();
+    let mut noprio = cfq.clone();
+    noprio.policy = SchedulerPolicy::NoPriority;
+    let a = run_experiment(&cfq).unwrap();
+    let b = run_experiment(&noprio).unwrap();
+    // Deadline-style scheduling lets maintenance complete at least
+    // about as fast (usually faster); small timing jitter is allowed.
+    if a.all_completed() && b.all_completed() {
+        let ma = a.makespan().unwrap();
+        let mb = b.makespan().unwrap();
+        assert!(
+            mb.as_secs_f64() <= ma.as_secs_f64() * 1.10,
+            "noprio {mb} much slower than cfq {ma}"
+        );
+    }
+    // The workload must not get *more* device time without priorities.
+    assert!(
+        b.workload_ops as f64 <= a.workload_ops as f64 * 1.05,
+        "noprio wl ops {} vs cfq {}",
+        b.workload_ops,
+        a.workload_ops
+    );
+}

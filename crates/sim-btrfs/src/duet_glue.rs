@@ -1,0 +1,40 @@
+//! Duet introspection hooks for the Btrfs model.
+//!
+//! The kernel implementation compiles its hooks into the storage stack;
+//! likewise, the filesystem implements the framework's
+//! [`FsIntrospect`] interface directly.
+
+use crate::fs::BtrfsSim;
+use duet::FsIntrospect;
+use sim_cache::PageMeta;
+use sim_core::{BlockNr, DeviceId, InodeNr, PageIndex};
+
+impl FsIntrospect for BtrfsSim {
+    fn device(&self) -> DeviceId {
+        BtrfsSim::device(self)
+    }
+
+    fn is_under(&self, ino: InodeNr, dir: InodeNr) -> bool {
+        self.inodes().is_under(ino, dir).unwrap_or(false)
+    }
+
+    fn path_of(&self, ino: InodeNr) -> Option<String> {
+        self.inodes().path_of(ino).ok()
+    }
+
+    fn fibmap(&self, ino: InodeNr, index: PageIndex) -> Option<BlockNr> {
+        BtrfsSim::fibmap(self, ino, index).ok().flatten()
+    }
+
+    fn has_cached_pages(&self, ino: InodeNr) -> bool {
+        self.cache().pages_of(ino) > 0
+    }
+
+    fn cached_pages(&self) -> Vec<PageMeta> {
+        self.cache().iter().collect()
+    }
+
+    fn cached_pages_of(&self, ino: InodeNr) -> Vec<PageMeta> {
+        self.cache().pages_of_file(ino)
+    }
+}

@@ -1,0 +1,40 @@
+//! VFS-level namespace events.
+//!
+//! Duet detects files being moved into or out of a registered directory
+//! "at the VFS layer" (§4.1). The filesystem records namespace changes
+//! in a queue; the simulation wiring drains it into the Duet framework
+//! alongside the page-cache events.
+
+use sim_core::InodeNr;
+
+/// A namespace change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsEvent {
+    /// A file or directory was created.
+    Created {
+        /// The new inode.
+        ino: InodeNr,
+        /// Its parent directory.
+        parent: InodeNr,
+        /// Whether it is a directory.
+        is_dir: bool,
+    },
+    /// A file was deleted (directories are deleted only when empty).
+    Deleted {
+        /// The removed inode.
+        ino: InodeNr,
+        /// Its former parent.
+        parent: InodeNr,
+    },
+    /// A file or directory was moved.
+    Renamed {
+        /// The moved inode.
+        ino: InodeNr,
+        /// Parent before the move.
+        old_parent: InodeNr,
+        /// Parent after the move.
+        new_parent: InodeNr,
+        /// Whether the moved inode is a directory.
+        is_dir: bool,
+    },
+}

@@ -1,0 +1,950 @@
+//! The copy-on-write filesystem: read/write paths, snapshots, scrub and
+//! defragmentation support.
+//!
+//! [`BtrfsSim`] glues the substrates together: the [`Disk`] executes
+//! block requests in virtual time, the [`PageCache`] holds file pages
+//! and emits Duet's page events, the [`BlockTable`] carries checksums /
+//! versions / refcounts, and [`FreeSpace`] + per-file
+//! [`crate::extent::ExtentMap`]s
+//! implement copy-on-write allocation. The semantics the paper's tasks
+//! depend on:
+//!
+//! - **Verify-on-read** (§5.1): every block read from the device has its
+//!   checksum verified, which is why the opportunistic scrubber may mark
+//!   recently-read blocks as scrubbed.
+//! - **COW sharing with snapshots** (§5.2): an overwrite allocates new
+//!   blocks; the old ones survive while a snapshot references them.
+//! - **COW fragmentation** (§5.3): overwrites append extents to the
+//!   file's map; defragmentation rewrites the file into one extent.
+//!
+//! All data I/O flows through the page cache (generating Duet events);
+//! the cache never does I/O itself, so this layer charges the device for
+//! misses, writeback and dirty evictions.
+
+use crate::alloc::{FreeSpace, Run};
+use crate::blocktable::{BackRef, BlockTable};
+use crate::events::FsEvent;
+use crate::inode::{InodeKind, InodeTable};
+use crate::snapshot::{SnapFile, Snapshot, SnapshotId};
+use sim_cache::{PageCache, PageKey, PageMeta};
+use sim_core::{
+    BlockNr,
+    DeviceId,
+    InodeNr,
+    PageIndex,
+    SimError,
+    SimInstant,
+    SimResult,
+    PAGE_SIZE, //
+};
+use sim_disk::{Disk, IoClass, IoKind, IoRequest};
+use std::collections::{BTreeMap, VecDeque};
+
+/// I/O accounting for one filesystem operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpStats {
+    /// Blocks read from the device.
+    pub blocks_read: u64,
+    /// Blocks written to the device.
+    pub blocks_written: u64,
+    /// Read requests issued.
+    pub read_reqs: u64,
+    /// Write requests issued.
+    pub write_reqs: u64,
+    /// Pages served from the cache without I/O.
+    pub cache_hits: u64,
+    /// Completion time of the last request (equals the submission time
+    /// if no I/O was needed).
+    pub finish: SimInstant,
+}
+
+impl OpStats {
+    /// Stats for an operation that did no I/O, completing at `now`.
+    pub fn none(now: SimInstant) -> Self {
+        OpStats {
+            blocks_read: 0,
+            blocks_written: 0,
+            read_reqs: 0,
+            write_reqs: 0,
+            cache_hits: 0,
+            finish: now,
+        }
+    }
+
+    /// Folds another operation's stats into this one.
+    pub fn merge(&mut self, other: &OpStats) {
+        self.blocks_read += other.blocks_read;
+        self.blocks_written += other.blocks_written;
+        self.read_reqs += other.read_reqs;
+        self.write_reqs += other.write_reqs;
+        self.cache_hits += other.cache_hits;
+        self.finish = self.finish.max(other.finish);
+    }
+
+    /// Total blocks transferred.
+    pub fn total_blocks(&self) -> u64 {
+        self.blocks_read + self.blocks_written
+    }
+}
+
+/// Result of defragmenting one file (see
+/// [`BtrfsSim::defrag_file`]).
+#[derive(Debug, Clone, Copy)]
+pub struct DefragResult {
+    /// Combined I/O of the read + rewrite phases.
+    pub stats: OpStats,
+    /// File size in pages.
+    pub pages: u64,
+    /// Pages that were already cached when the defrag read them (reads
+    /// saved, in the paper's Figure accounting).
+    pub cached_pages: u64,
+    /// Pages that were already dirty before the defrag (writes that
+    /// would have happened anyway).
+    pub already_dirty: u64,
+    /// Extent count before.
+    pub extents_before: usize,
+    /// Extent count after.
+    pub extents_after: usize,
+}
+
+/// The simulated copy-on-write filesystem.
+pub struct BtrfsSim {
+    device: DeviceId,
+    disk: Disk,
+    cache: PageCache,
+    blocks: BlockTable,
+    alloc: FreeSpace,
+    inodes: InodeTable,
+    snapshots: BTreeMap<SnapshotId, Snapshot>,
+    next_snap: u32,
+    fs_events: VecDeque<FsEvent>,
+}
+
+impl BtrfsSim {
+    /// Creates a filesystem on `disk` with a page cache of
+    /// `cache_pages` pages.
+    pub fn new(device: DeviceId, disk: Disk, cache_pages: usize) -> Self {
+        let capacity = disk.capacity_blocks();
+        BtrfsSim {
+            device,
+            disk,
+            cache: PageCache::new(cache_pages),
+            blocks: BlockTable::new(capacity),
+            alloc: FreeSpace::new(capacity),
+            inodes: InodeTable::new(),
+            snapshots: BTreeMap::new(),
+            next_snap: 1,
+            fs_events: VecDeque::new(),
+        }
+    }
+
+    /// The device this filesystem is mounted on.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// The underlying disk (metrics, capacity).
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    /// Mutable disk access (metric resets).
+    pub fn disk_mut(&mut self) -> &mut Disk {
+        &mut self.disk
+    }
+
+    /// The page cache.
+    pub fn cache(&self) -> &PageCache {
+        &self.cache
+    }
+
+    /// Mutable page cache access (event draining).
+    pub fn cache_mut(&mut self) -> &mut PageCache {
+        &mut self.cache
+    }
+
+    /// The inode table / namespace.
+    pub fn inodes(&self) -> &InodeTable {
+        &self.inodes
+    }
+
+    /// The per-block state table.
+    pub fn blocks(&self) -> &BlockTable {
+        &self.blocks
+    }
+
+    /// Root directory inode.
+    pub fn root(&self) -> InodeNr {
+        self.inodes.root()
+    }
+
+    /// Blocks currently allocated.
+    pub fn allocated_blocks(&self) -> u64 {
+        self.alloc.allocated_blocks()
+    }
+
+    /// Drains pending namespace events for the Duet wiring.
+    pub fn drain_fs_events(&mut self) -> Vec<FsEvent> {
+        self.fs_events.drain(..).collect()
+    }
+
+    // ----- namespace operations -------------------------------------
+
+    /// Creates a directory.
+    pub fn mkdir(&mut self, parent: InodeNr, name: &str) -> SimResult<InodeNr> {
+        let ino = self.inodes.create(parent, name, InodeKind::Dir)?;
+        self.fs_events.push_back(FsEvent::Created {
+            ino,
+            parent,
+            is_dir: true,
+        });
+        Ok(ino)
+    }
+
+    /// Creates an empty file.
+    pub fn create_file(&mut self, parent: InodeNr, name: &str) -> SimResult<InodeNr> {
+        let ino = self.inodes.create(parent, name, InodeKind::File)?;
+        self.fs_events.push_back(FsEvent::Created {
+            ino,
+            parent,
+            is_dir: false,
+        });
+        Ok(ino)
+    }
+
+    /// Deletes a file: invalidates its cached pages, releases its blocks
+    /// (honouring snapshot sharing) and removes it from the namespace.
+    pub fn delete_file(&mut self, ino: InodeNr) -> SimResult<()> {
+        let node = self.inodes.get(ino)?;
+        if node.is_dir() {
+            return Err(SimError::InvalidArgument(format!("{ino} is a directory")));
+        }
+        let parent = node.parent;
+        self.cache.remove_file(ino);
+        let mut node = self.inodes.remove(ino)?;
+        for b in node.extents.clear() {
+            self.release_block(b)?;
+        }
+        self.fs_events.push_back(FsEvent::Deleted { ino, parent });
+        Ok(())
+    }
+
+    /// Moves `ino` under `new_parent` as `new_name` (the VFS rename
+    /// hook of §4.1).
+    pub fn rename(&mut self, ino: InodeNr, new_parent: InodeNr, new_name: &str) -> SimResult<()> {
+        let old_parent = self.inodes.get(ino)?.parent;
+        let is_dir = self.inodes.get(ino)?.is_dir();
+        self.inodes.rename(ino, new_parent, new_name)?;
+        self.fs_events.push_back(FsEvent::Renamed {
+            ino,
+            old_parent,
+            new_parent,
+            is_dir,
+        });
+        Ok(())
+    }
+
+    /// Resolves an absolute path.
+    pub fn resolve(&self, path: &str) -> SimResult<InodeNr> {
+        self.inodes.resolve(path)
+    }
+
+    /// Absolute path of an inode.
+    pub fn path_of(&self, ino: InodeNr) -> SimResult<String> {
+        self.inodes.path_of(ino)
+    }
+
+    // ----- block bookkeeping -----------------------------------------
+
+    /// Releases one reference to a block, freeing it when the count
+    /// reaches zero and always clearing the live back-reference.
+    fn release_block(&mut self, b: BlockNr) -> SimResult<()> {
+        self.blocks.clear_backref(b)?;
+        if self.blocks.ref_dec(b)? {
+            self.alloc.free_block(b);
+        }
+        Ok(())
+    }
+
+    /// Allocates and stamps fresh blocks for `npages` pages of file
+    /// `ino` starting at logical page `page0`, and maps them.
+    fn cow_allocate(&mut self, ino: InodeNr, page0: u64, npages: u64) -> SimResult<Vec<Run>> {
+        let runs = self.alloc.alloc_exact(npages)?;
+        let mut logical = page0;
+        for run in &runs {
+            for i in 0..run.len {
+                let b = run.start.offset(i);
+                self.blocks.write_block(b)?;
+                self.blocks.ref_inc(b)?;
+                self.blocks.set_backref(
+                    b,
+                    BackRef {
+                        ino,
+                        index: PageIndex(logical + i),
+                    },
+                )?;
+            }
+            logical += run.len;
+        }
+        let displaced = {
+            let node = self.inodes.get_mut(ino)?;
+            node.extents.map_range(page0, &runs)
+        };
+        for b in displaced {
+            self.release_block(b)?;
+        }
+        Ok(runs)
+    }
+
+    // ----- I/O helpers ------------------------------------------------
+
+    /// Coalesces block numbers into maximal contiguous ascending runs.
+    fn coalesce(mut blocks: Vec<BlockNr>) -> Vec<Run> {
+        blocks.sort_unstable();
+        blocks.dedup();
+        let mut runs: Vec<Run> = Vec::new();
+        for b in blocks {
+            match runs.last_mut() {
+                Some(r) if r.start.raw() + r.len == b.raw() => r.len += 1,
+                _ => runs.push(Run { start: b, len: 1 }),
+            }
+        }
+        runs
+    }
+
+    fn submit_runs(
+        &mut self,
+        runs: &[Run],
+        kind: IoKind,
+        class: IoClass,
+        now: SimInstant,
+        stats: &mut OpStats,
+    ) {
+        for run in runs {
+            let req = IoRequest::new(kind, run.start, run.len, class);
+            let finish = self.disk.submit(&req, now);
+            stats.finish = stats.finish.max(finish);
+            match kind {
+                IoKind::Read => {
+                    stats.blocks_read += run.len;
+                    stats.read_reqs += 1;
+                }
+                IoKind::Write => {
+                    stats.blocks_written += run.len;
+                    stats.write_reqs += 1;
+                }
+            }
+        }
+    }
+
+    /// Writes out dirty pages evicted by cache pressure.
+    fn write_evicted(
+        &mut self,
+        evicted: Vec<PageMeta>,
+        class: IoClass,
+        now: SimInstant,
+        stats: &mut OpStats,
+    ) {
+        let blocks: Vec<BlockNr> = evicted
+            .into_iter()
+            .filter(|m| m.dirty)
+            .filter_map(|m| m.block)
+            .collect();
+        if blocks.is_empty() {
+            return;
+        }
+        let runs = Self::coalesce(blocks);
+        self.submit_runs(&runs, IoKind::Write, class, now, stats);
+    }
+
+    // ----- data path ---------------------------------------------------
+
+    /// Reads `len_bytes` at byte `offset` of file `ino` through the page
+    /// cache. Device reads verify block checksums (failing with
+    /// [`SimError::ChecksumMismatch`] on injected corruption).
+    pub fn read(
+        &mut self,
+        ino: InodeNr,
+        offset: u64,
+        len_bytes: u64,
+        class: IoClass,
+        now: SimInstant,
+    ) -> SimResult<OpStats> {
+        let mut stats = OpStats::none(now);
+        if len_bytes == 0 {
+            return Ok(stats);
+        }
+        let size_pages = self.inodes.get(ino)?.size_pages();
+        let p0 = offset / PAGE_SIZE;
+        let p1 = ((offset + len_bytes).div_ceil(PAGE_SIZE)).min(size_pages);
+        let mut missing: Vec<(PageIndex, BlockNr)> = Vec::new();
+        for p in p0..p1 {
+            let idx = PageIndex(p);
+            let key = PageKey::new(ino, idx);
+            if self.cache.lookup(key).is_some() {
+                stats.cache_hits += 1;
+            } else if let Some(b) = self.inodes.get(ino)?.extents.block_of(idx) {
+                missing.push((idx, b));
+            }
+            // Unmapped pages (holes) read as zeroes with no I/O.
+        }
+        if missing.is_empty() {
+            return Ok(stats);
+        }
+        // Verify checksums on the device read path.
+        for (_, b) in &missing {
+            self.blocks.verify_checksum(*b)?;
+        }
+        let runs = Self::coalesce(missing.iter().map(|(_, b)| *b).collect());
+        self.submit_runs(&runs, IoKind::Read, class, now, &mut stats);
+        // Populate the cache; dirty evictions are charged to this op.
+        let mut evicted_all = Vec::new();
+        for (idx, b) in missing {
+            let ev = self.cache.insert(PageKey::new(ino, idx), Some(b), false);
+            evicted_all.extend(ev);
+        }
+        self.write_evicted(evicted_all, class, now, &mut stats);
+        Ok(stats)
+    }
+
+    /// Writes `len_bytes` at byte `offset` of file `ino`. Copy-on-write:
+    /// fresh blocks are allocated for the whole page range, the old ones
+    /// are released (or left to their snapshots). Data sits dirty in the
+    /// cache until written back by eviction, [`BtrfsSim::fsync`] or
+    /// [`BtrfsSim::background_writeback`].
+    pub fn write(
+        &mut self,
+        ino: InodeNr,
+        offset: u64,
+        len_bytes: u64,
+        class: IoClass,
+        now: SimInstant,
+    ) -> SimResult<OpStats> {
+        let mut stats = OpStats::none(now);
+        if len_bytes == 0 {
+            return Ok(stats);
+        }
+        if !self.inodes.exists(ino) {
+            return Err(SimError::NoSuchInode(ino));
+        }
+        let p0 = offset / PAGE_SIZE;
+        let p1 = (offset + len_bytes).div_ceil(PAGE_SIZE);
+        let npages = p1 - p0;
+        let runs = self.cow_allocate(ino, p0, npages)?;
+        // Update the size.
+        {
+            let node = self.inodes.get_mut(ino)?;
+            node.size_bytes = node.size_bytes.max(offset + len_bytes);
+        }
+        // Dirty pages enter the cache with their new blocks.
+        let mut evicted_all = Vec::new();
+        let mut logical = p0;
+        for run in &runs {
+            for i in 0..run.len {
+                let key = PageKey::new(ino, PageIndex(logical + i));
+                let ev = self.cache.insert(key, Some(run.start.offset(i)), true);
+                evicted_all.extend(ev);
+            }
+            logical += run.len;
+        }
+        self.write_evicted(evicted_all, class, now, &mut stats);
+        Ok(stats)
+    }
+
+    /// Appends `len_bytes` to the end of the file.
+    pub fn append(
+        &mut self,
+        ino: InodeNr,
+        len_bytes: u64,
+        class: IoClass,
+        now: SimInstant,
+    ) -> SimResult<OpStats> {
+        let size = self.inodes.get(ino)?.size_bytes;
+        // Appends start on a fresh page boundary past EOF (partial-page
+        // tails are rounded up; content granularity is one page).
+        let offset = size.next_multiple_of(PAGE_SIZE).max(size);
+        self.write(ino, offset, len_bytes, class, now)
+    }
+
+    /// Flushes all dirty pages of a file to the device.
+    pub fn fsync(&mut self, ino: InodeNr, class: IoClass, now: SimInstant) -> SimResult<OpStats> {
+        let mut stats = OpStats::none(now);
+        let flushed = self.cache.flush_file(ino);
+        let blocks: Vec<BlockNr> = flushed.into_iter().filter_map(|m| m.block).collect();
+        if !blocks.is_empty() {
+            let runs = Self::coalesce(blocks);
+            self.submit_runs(&runs, IoKind::Write, class, now, &mut stats);
+        }
+        Ok(stats)
+    }
+
+    /// Background writeback: flushes up to `max_pages` of the oldest
+    /// dirty pages (the kernel flusher thread the defragmentation
+    /// accounting in §6.2 refers to with "will be flushed soon anyway").
+    pub fn background_writeback(
+        &mut self,
+        max_pages: usize,
+        class: IoClass,
+        now: SimInstant,
+    ) -> SimResult<OpStats> {
+        let mut stats = OpStats::none(now);
+        let flushed = self.cache.writeback_batch(max_pages);
+        let blocks: Vec<BlockNr> = flushed.into_iter().filter_map(|m| m.block).collect();
+        if !blocks.is_empty() {
+            let runs = Self::coalesce(blocks);
+            self.submit_runs(&runs, IoKind::Write, class, now, &mut stats);
+        }
+        Ok(stats)
+    }
+
+    /// Number of dirty pages in the cache.
+    pub fn dirty_pages(&self) -> usize {
+        self.cache.iter().filter(|m| m.dirty).count()
+    }
+
+    /// FIBMAP: logical page of a file → physical block (§4.2).
+    pub fn fibmap(&self, ino: InodeNr, index: PageIndex) -> SimResult<Option<BlockNr>> {
+        Ok(self.inodes.get(ino)?.extents.block_of(index))
+    }
+
+    // ----- population (experiment setup, no I/O accounting) -----------
+
+    /// Creates a file of `size_bytes` with data "already on disk":
+    /// blocks are allocated, stamped and mapped without charging any
+    /// simulated I/O. Used to build the experimental file set (§6.1.3).
+    pub fn populate_file(
+        &mut self,
+        parent: InodeNr,
+        name: &str,
+        size_bytes: u64,
+    ) -> SimResult<InodeNr> {
+        let ino = self.create_file(parent, name)?;
+        let npages = sim_core::ids::pages_for_bytes(size_bytes);
+        if npages > 0 {
+            self.cow_allocate(ino, 0, npages)?;
+            self.inodes.get_mut(ino)?.size_bytes = size_bytes;
+        }
+        Ok(ino)
+    }
+
+    /// Re-lays a file out into approximately `pieces` scattered extents
+    /// (experiment setup: "our experiments are performed on a 10%
+    /// fragmented file system", §6.2). No I/O is charged.
+    pub fn fragment_file(&mut self, ino: InodeNr, pieces: u64) -> SimResult<()> {
+        let npages = self.inodes.get(ino)?.size_pages();
+        if npages == 0 || pieces == 0 {
+            return Ok(());
+        }
+        // `pieces == 1` relocates the file contiguously (used to age the
+        // filesystem layout so inode order no longer matches physical
+        // order).
+        let pieces = pieces.min(npages);
+        let per = npages.div_ceil(pieces);
+        // Free the current layout.
+        let old = {
+            let node = self.inodes.get_mut(ino)?;
+            node.extents.clear()
+        };
+        for b in old {
+            self.release_block(b)?;
+        }
+        // Allocate scattered runs. Each piece is carved with a trailing
+        // gap from one contiguous allocation; freeing the gaps afterward
+        // leaves the pieces physically separated, so the extent map
+        // cannot merge them.
+        const GAP: u64 = 4;
+        let mut gaps: Vec<Run> = Vec::new();
+        let mut logical = 0u64;
+        let mut remaining = npages;
+        while remaining > 0 {
+            let want = per.min(remaining);
+            let (run, gap) = match self.alloc.alloc_contiguous(want + GAP) {
+                Ok(r) => (
+                    Run {
+                        start: r.start,
+                        len: want,
+                    },
+                    Some(Run {
+                        start: r.start.offset(want),
+                        len: GAP,
+                    }),
+                ),
+                // Space too tight for gaps: take what is available.
+                Err(SimError::NoSpace) => (self.alloc.alloc(want)?, None),
+                Err(e) => return Err(e),
+            };
+            for i in 0..run.len {
+                let b = run.start.offset(i);
+                self.blocks.write_block(b)?;
+                self.blocks.ref_inc(b)?;
+                self.blocks.set_backref(
+                    b,
+                    BackRef {
+                        ino,
+                        index: PageIndex(logical + i),
+                    },
+                )?;
+            }
+            let node = self.inodes.get_mut(ino)?;
+            let displaced = node.extents.map_range(logical, &[run]);
+            debug_assert!(displaced.is_empty());
+            logical += run.len;
+            remaining -= run.len;
+            if let Some(g) = gap {
+                gaps.push(g);
+            }
+        }
+        for g in gaps {
+            self.alloc.free_range(g.start, g.len);
+        }
+        Ok(())
+    }
+
+    // ----- snapshots ----------------------------------------------------
+
+    /// Takes a read-only snapshot of the live filesystem. All data
+    /// blocks become shared (refcount +1) until the live tree overwrites
+    /// them.
+    pub fn create_snapshot(&mut self) -> SimResult<SnapshotId> {
+        let id = SnapshotId(self.next_snap);
+        self.next_snap += 1;
+        let mut files = BTreeMap::new();
+        let file_inos = self.inodes.files_by_inode();
+        for ino in file_inos {
+            let node = self.inodes.get(ino)?;
+            let path = self.inodes.path_of(ino)?;
+            let snap = SnapFile {
+                extents: node.extents.clone(),
+                size_bytes: node.size_bytes,
+                path,
+            };
+            files.insert(ino, snap);
+        }
+        for f in files.values() {
+            let blocks: Vec<BlockNr> = f
+                .extents
+                .iter()
+                .flat_map(|e| (0..e.len).map(move |i| e.physical.offset(i)))
+                .collect();
+            for b in blocks {
+                self.blocks.ref_inc(b)?;
+            }
+        }
+        self.snapshots.insert(id, Snapshot { id, files });
+        Ok(id)
+    }
+
+    /// Deletes a snapshot, releasing its block references.
+    pub fn delete_snapshot(&mut self, id: SnapshotId) -> SimResult<()> {
+        let snap = self
+            .snapshots
+            .remove(&id)
+            .ok_or_else(|| SimError::InvalidArgument(format!("{id} does not exist")))?;
+        for f in snap.files.values() {
+            for e in f.extents.iter() {
+                for i in 0..e.len {
+                    let b = e.physical.offset(i);
+                    if self.blocks.ref_dec(b)? {
+                        self.alloc.free_block(b);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Accesses a snapshot.
+    pub fn snapshot(&self, id: SnapshotId) -> SimResult<&Snapshot> {
+        self.snapshots
+            .get(&id)
+            .ok_or_else(|| SimError::InvalidArgument(format!("{id} does not exist")))
+    }
+
+    /// The block backing page `index` of file `ino` *in the snapshot*.
+    pub fn snapshot_block(
+        &self,
+        id: SnapshotId,
+        ino: InodeNr,
+        index: PageIndex,
+    ) -> SimResult<Option<BlockNr>> {
+        Ok(self
+            .snapshot(id)?
+            .files
+            .get(&ino)
+            .and_then(|f| f.extents.block_of(index)))
+    }
+
+    /// Returns `true` if page `index` of live file `ino` is still
+    /// backed by the same block as in the snapshot — the back-reference
+    /// check the opportunistic backup performs before copying a cached
+    /// page (§5.2).
+    pub fn shared_with_snapshot(
+        &self,
+        id: SnapshotId,
+        ino: InodeNr,
+        index: PageIndex,
+    ) -> SimResult<bool> {
+        let snap_block = self.snapshot_block(id, ino, index)?;
+        let live_block = match self.inodes.get(ino) {
+            Ok(node) => node.extents.block_of(index),
+            Err(SimError::NoSuchInode(_)) => None,
+            Err(e) => return Err(e),
+        };
+        Ok(snap_block.is_some() && snap_block == live_block)
+    }
+
+    // ----- scrub support -------------------------------------------------
+
+    /// Allocated block ranges in ascending physical order — the
+    /// scrubber's processing order.
+    pub fn allocated_ranges(&self) -> Vec<Run> {
+        self.alloc.allocated_ranges()
+    }
+
+    /// Raw device read bypassing the page cache (used for blocks with no
+    /// live file, e.g. snapshot-only blocks).
+    pub fn read_raw(
+        &mut self,
+        start: BlockNr,
+        len: u64,
+        class: IoClass,
+        now: SimInstant,
+    ) -> SimResult<OpStats> {
+        let mut stats = OpStats::none(now);
+        self.submit_runs(&[Run { start, len }], IoKind::Read, class, now, &mut stats);
+        Ok(stats)
+    }
+
+    /// Verifies a block's checksum, repairing it if corrupted. Returns
+    /// `true` if a corruption was found (and fixed).
+    pub fn verify_and_repair(&mut self, b: BlockNr) -> SimResult<bool> {
+        match self.blocks.verify_checksum(b) {
+            Ok(()) => Ok(false),
+            Err(SimError::ChecksumMismatch(_)) => {
+                self.blocks.repair(b)?;
+                Ok(true)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Injects a silent corruption for scrubber tests.
+    pub fn inject_corruption(&mut self, b: BlockNr) -> SimResult<()> {
+        self.blocks.inject_corruption(b)
+    }
+
+    // ----- defragmentation -------------------------------------------------
+
+    /// Extent count of a file (the fragmentation measure).
+    pub fn file_extent_count(&self, ino: InodeNr) -> SimResult<usize> {
+        Ok(self.inodes.get(ino)?.extents.extent_count())
+    }
+
+    /// Defragments one file: brings its pages into memory, rewrites them
+    /// into (as close as possible to) one contiguous extent and flushes
+    /// the result as a single transaction (§5.3).
+    pub fn defrag_file(
+        &mut self,
+        ino: InodeNr,
+        class: IoClass,
+        now: SimInstant,
+    ) -> SimResult<DefragResult> {
+        let node = self.inodes.get(ino)?;
+        let pages = node.size_pages();
+        let size = node.size_bytes;
+        let extents_before = node.extents.extent_count();
+        if pages == 0 || extents_before <= 1 {
+            return Ok(DefragResult {
+                stats: OpStats::none(now),
+                pages,
+                cached_pages: 0,
+                already_dirty: 0,
+                extents_before,
+                extents_after: extents_before,
+            });
+        }
+        // Count savings *before* touching anything.
+        let cached_pages = self.cache.pages_of(ino) as u64;
+        let already_dirty = self
+            .cache
+            .iter()
+            .filter(|m| m.key.ino == ino && m.dirty)
+            .count() as u64;
+        // Phase 1: bring the file into memory.
+        let mut stats = self.read(ino, 0, size, class, now)?;
+        // Phase 2: rewrite into fresh (contiguous if possible) space.
+        let runs = match self.alloc.alloc_contiguous(pages) {
+            Ok(run) => vec![run],
+            Err(SimError::NoSpace) => self.alloc.alloc_exact(pages)?,
+            Err(e) => return Err(e),
+        };
+        for run in &runs {
+            for i in 0..run.len {
+                let b = run.start.offset(i);
+                self.blocks.write_block(b)?;
+                self.blocks.ref_inc(b)?;
+            }
+        }
+        let mut logical = 0u64;
+        for run in &runs {
+            for i in 0..run.len {
+                self.blocks.set_backref(
+                    run.start.offset(i),
+                    BackRef {
+                        ino,
+                        index: PageIndex(logical + i),
+                    },
+                )?;
+            }
+            logical += run.len;
+        }
+        let displaced = {
+            let node = self.inodes.get_mut(ino)?;
+            node.extents.map_range(0, &runs)
+        };
+        for b in displaced {
+            self.release_block(b)?;
+        }
+        // Refresh cached pages onto the new blocks, dirty.
+        let mut evicted_all = Vec::new();
+        let mut logical = 0u64;
+        for run in &runs {
+            for i in 0..run.len {
+                let key = PageKey::new(ino, PageIndex(logical + i));
+                let ev = self.cache.insert(key, Some(run.start.offset(i)), true);
+                evicted_all.extend(ev);
+            }
+            logical += run.len;
+        }
+        self.write_evicted(evicted_all, class, now, &mut stats);
+        // Phase 3: commit the transaction.
+        let flush = self.fsync(ino, class, now)?;
+        stats.merge(&flush);
+        let extents_after = self.inodes.get(ino)?.extents.extent_count();
+        Ok(DefragResult {
+            stats,
+            pages,
+            cached_pages,
+            already_dirty,
+            extents_before,
+            extents_after,
+        })
+    }
+
+    // ----- introspection --------------------------------------------------
+
+    /// Live back-reference of a block (which file page it backs).
+    pub fn backref_of(&self, b: BlockNr) -> SimResult<Option<BackRef>> {
+        self.blocks.backref_of(b)
+    }
+
+    /// Mean extent count across all files (filesystem fragmentation).
+    pub fn mean_extents_per_file(&self) -> f64 {
+        let files = self.inodes.files_by_inode();
+        if files.is_empty() {
+            return 0.0;
+        }
+        let total: usize = files
+            .iter()
+            .map(|&i| {
+                self.inodes
+                    .get(i)
+                    .map(|n| n.extents.extent_count())
+                    .unwrap_or(0)
+            })
+            .sum();
+        total as f64 / files.len() as f64
+    }
+
+    /// Full-filesystem consistency check (fsck): verifies that
+    ///
+    /// - every block's reference count equals the number of live-tree
+    ///   and snapshot extents pointing at it;
+    /// - no two live extents claim the same block;
+    /// - every live block's back-reference names the page that maps it;
+    /// - the allocator's allocated-block count equals the number of
+    ///   referenced blocks;
+    /// - every cached page's block mapping agrees with the extent tree.
+    ///
+    /// Intended for tests and debugging; cost is O(data).
+    pub fn check_consistency(&self) -> SimResult<()> {
+        use std::collections::HashMap;
+        let fail = |why: String| Err(SimError::InvalidArgument(format!("fsck: {why}")));
+        // Expected refcounts from the live tree.
+        let mut expect: HashMap<BlockNr, u32> = HashMap::new();
+        for node in self.inodes.iter() {
+            for e in node.extents.iter() {
+                for i in 0..e.len {
+                    let b = e.physical.offset(i);
+                    let c = expect.entry(b).or_insert(0);
+                    *c += 1;
+                    if *c > 1 {
+                        return fail(format!("block {b} claimed by two live extents"));
+                    }
+                    // Back-reference must point at this page.
+                    match self.blocks.backref_of(b)? {
+                        Some(br) if br.ino == node.ino && br.index.raw() == e.logical + i => {}
+                        other => {
+                            return fail(format!(
+                                "block {b}: backref {other:?} != ({}, pg {})",
+                                node.ino,
+                                e.logical + i
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // Snapshot references.
+        for snap in self.snapshots.values() {
+            for f in snap.files.values() {
+                for e in f.extents.iter() {
+                    for i in 0..e.len {
+                        *expect.entry(e.physical.offset(i)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        // Compare against the block table and the allocator.
+        for (&b, &want) in &expect {
+            let got = self.blocks.refcount_of(b)?;
+            if got != want {
+                return fail(format!("block {b}: refcount {got}, expected {want}"));
+            }
+        }
+        let referenced = expect.len() as u64;
+        if referenced != self.alloc.allocated_blocks() {
+            return fail(format!(
+                "allocator says {} blocks allocated, {} are referenced",
+                self.alloc.allocated_blocks(),
+                referenced
+            ));
+        }
+        // Cached pages must agree with the extent tree (pages of deleted
+        // files must not linger).
+        for meta in self.cache.iter() {
+            let node = match self.inodes.get(meta.key.ino) {
+                Ok(n) => n,
+                Err(_) => {
+                    return fail(format!("cache holds page of missing {}", meta.key.ino));
+                }
+            };
+            if let Some(b) = meta.block {
+                if node.extents.block_of(meta.key.index) != Some(b) {
+                    return fail(format!(
+                        "cached page ({}, {}) maps {b}, extent tree disagrees",
+                        meta.key.ino, meta.key.index
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Test-only: artificially bump a block's reference count so the
+    /// consistency checker's detection paths can be exercised.
+    #[cfg(test)]
+    pub(crate) fn corrupt_refcount_for_test(&mut self, b: BlockNr) {
+        self.blocks.ref_inc(b).expect("in range");
+    }
+}

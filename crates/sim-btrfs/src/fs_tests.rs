@@ -1,0 +1,571 @@
+//! Behavioural tests of the full filesystem: COW semantics, snapshot
+//! sharing, verify-on-read, defragmentation and event generation.
+
+use crate::events::FsEvent;
+use crate::fs::BtrfsSim;
+use sim_cache::PageEvent;
+use sim_core::{BlockNr, DeviceId, InodeNr, PageIndex, SimError, SimInstant, PAGE_SIZE};
+use sim_disk::{Disk, HddModel, IoClass};
+
+const T0: SimInstant = SimInstant::EPOCH;
+const NORMAL: IoClass = IoClass::Normal;
+const IDLE: IoClass = IoClass::Idle;
+
+fn make_fs(capacity_blocks: u64, cache_pages: usize) -> BtrfsSim {
+    let disk = Disk::new(Box::new(HddModel::sas_10k(capacity_blocks)));
+    BtrfsSim::new(DeviceId(0), disk, cache_pages)
+}
+
+fn page_bytes(n: u64) -> u64 {
+    n * PAGE_SIZE
+}
+
+#[test]
+fn populate_creates_on_disk_data_without_io() {
+    let mut fs = make_fs(1024, 64);
+    let ino = fs
+        .populate_file(fs.root(), "data.bin", page_bytes(10))
+        .unwrap();
+    assert_eq!(fs.inodes().get(ino).unwrap().size_pages(), 10);
+    assert_eq!(fs.allocated_blocks(), 10);
+    assert_eq!(fs.disk().metrics().total_blocks(), 0, "population is free");
+    assert_eq!(fs.cache().len(), 0, "population does not touch the cache");
+    // The data is mapped and fibmap resolves it.
+    assert!(fs.fibmap(ino, PageIndex(0)).unwrap().is_some());
+    assert!(fs.fibmap(ino, PageIndex(10)).unwrap().is_none());
+}
+
+#[test]
+fn read_miss_then_hit() {
+    let mut fs = make_fs(1024, 64);
+    let ino = fs.populate_file(fs.root(), "f", page_bytes(4)).unwrap();
+    let s1 = fs.read(ino, 0, page_bytes(4), NORMAL, T0).unwrap();
+    assert_eq!(s1.blocks_read, 4);
+    assert_eq!(s1.cache_hits, 0);
+    assert_eq!(
+        s1.read_reqs, 1,
+        "contiguous blocks coalesce into one request"
+    );
+    assert!(s1.finish > T0);
+    // Second read: all hits, no I/O.
+    let s2 = fs.read(ino, 0, page_bytes(4), NORMAL, s1.finish).unwrap();
+    assert_eq!(s2.blocks_read, 0);
+    assert_eq!(s2.cache_hits, 4);
+    assert_eq!(s2.finish, s1.finish);
+}
+
+#[test]
+fn read_generates_added_events() {
+    let mut fs = make_fs(1024, 64);
+    let ino = fs.populate_file(fs.root(), "f", page_bytes(3)).unwrap();
+    fs.read(ino, 0, page_bytes(3), NORMAL, T0).unwrap();
+    let evs = fs.cache_mut().drain_events();
+    let added = evs.iter().filter(|(_, e)| *e == PageEvent::Added).count();
+    assert_eq!(added, 3);
+    assert!(evs.iter().all(|(m, _)| m.key.ino == ino));
+    assert!(evs.iter().all(|(m, _)| m.block.is_some()));
+}
+
+#[test]
+fn write_is_copy_on_write() {
+    let mut fs = make_fs(1024, 64);
+    let ino = fs.populate_file(fs.root(), "f", page_bytes(4)).unwrap();
+    let b_before = fs.fibmap(ino, PageIndex(1)).unwrap().unwrap();
+    fs.write(ino, page_bytes(1), PAGE_SIZE, NORMAL, T0).unwrap();
+    let b_after = fs.fibmap(ino, PageIndex(1)).unwrap().unwrap();
+    assert_ne!(b_before, b_after, "overwrite allocated a fresh block");
+    // Unshared old block is freed.
+    assert_eq!(fs.blocks().refcount_of(b_before).unwrap(), 0);
+    assert_eq!(fs.allocated_blocks(), 4);
+    // Other pages unchanged.
+    assert_eq!(fs.inodes().get(ino).unwrap().extents.mapped_pages(), 4);
+}
+
+#[test]
+fn cow_overwrites_fragment_files() {
+    let mut fs = make_fs(4096, 256);
+    let ino = fs.populate_file(fs.root(), "f", page_bytes(32)).unwrap();
+    assert_eq!(fs.file_extent_count(ino).unwrap(), 1);
+    // Scattered small overwrites split the extent map.
+    for p in [3u64, 9, 17, 25] {
+        fs.write(ino, page_bytes(p), PAGE_SIZE, NORMAL, T0).unwrap();
+    }
+    assert!(fs.file_extent_count(ino).unwrap() >= 5, "fragmented by COW");
+}
+
+#[test]
+fn write_leaves_data_dirty_until_flush() {
+    let mut fs = make_fs(1024, 64);
+    let ino = fs.create_file(fs.root(), "f").unwrap();
+    let s = fs.write(ino, 0, page_bytes(2), NORMAL, T0).unwrap();
+    assert_eq!(s.blocks_written, 0, "write-back caching: no immediate I/O");
+    assert_eq!(fs.dirty_pages(), 2);
+    let f = fs.fsync(ino, NORMAL, T0).unwrap();
+    assert_eq!(f.blocks_written, 2);
+    assert_eq!(fs.dirty_pages(), 0);
+    // fsync again is a no-op.
+    let f2 = fs.fsync(ino, NORMAL, f.finish).unwrap();
+    assert_eq!(f2.blocks_written, 0);
+}
+
+#[test]
+fn background_writeback_flushes_oldest() {
+    let mut fs = make_fs(1024, 64);
+    let a = fs.create_file(fs.root(), "a").unwrap();
+    let b = fs.create_file(fs.root(), "b").unwrap();
+    fs.write(a, 0, page_bytes(2), NORMAL, T0).unwrap();
+    fs.write(b, 0, page_bytes(2), NORMAL, T0).unwrap();
+    let s = fs.background_writeback(2, IDLE, T0).unwrap();
+    assert_eq!(s.blocks_written, 2);
+    assert_eq!(fs.dirty_pages(), 2, "only the batch was flushed");
+}
+
+#[test]
+fn eviction_of_dirty_pages_charges_writes() {
+    let mut fs = make_fs(1024, 4); // tiny cache
+    let ino = fs.create_file(fs.root(), "f").unwrap();
+    // Write 8 pages through a 4-page cache: at least 4 dirty evictions.
+    let s = fs.write(ino, 0, page_bytes(8), NORMAL, T0).unwrap();
+    assert!(
+        s.blocks_written >= 4,
+        "dirty evictions wrote {}",
+        s.blocks_written
+    );
+    assert_eq!(fs.cache().len(), 4);
+}
+
+#[test]
+fn append_extends_file() {
+    let mut fs = make_fs(1024, 64);
+    let ino = fs.create_file(fs.root(), "log").unwrap();
+    fs.append(ino, page_bytes(2), NORMAL, T0).unwrap();
+    assert_eq!(fs.inodes().get(ino).unwrap().size_pages(), 2);
+    fs.append(ino, PAGE_SIZE, NORMAL, T0).unwrap();
+    assert_eq!(fs.inodes().get(ino).unwrap().size_pages(), 3);
+}
+
+#[test]
+fn verify_on_read_detects_corruption() {
+    let mut fs = make_fs(1024, 64);
+    let ino = fs.populate_file(fs.root(), "f", page_bytes(2)).unwrap();
+    let b = fs.fibmap(ino, PageIndex(0)).unwrap().unwrap();
+    fs.inject_corruption(b).unwrap();
+    let err = fs.read(ino, 0, PAGE_SIZE, NORMAL, T0).unwrap_err();
+    assert_eq!(err, SimError::ChecksumMismatch(b));
+    // Scrub-style verify-and-repair fixes it.
+    assert!(fs.verify_and_repair(b).unwrap());
+    assert!(!fs.verify_and_repair(b).unwrap(), "already repaired");
+    fs.read(ino, 0, PAGE_SIZE, NORMAL, T0).unwrap();
+}
+
+#[test]
+fn snapshot_shares_blocks_until_overwrite() {
+    let mut fs = make_fs(1024, 64);
+    let ino = fs.populate_file(fs.root(), "f", page_bytes(4)).unwrap();
+    let b1 = fs.fibmap(ino, PageIndex(1)).unwrap().unwrap();
+    let snap = fs.create_snapshot().unwrap();
+    assert_eq!(fs.blocks().refcount_of(b1).unwrap(), 2, "live + snapshot");
+    assert!(fs.shared_with_snapshot(snap, ino, PageIndex(1)).unwrap());
+    // Overwrite breaks sharing for that page only.
+    fs.write(ino, page_bytes(1), PAGE_SIZE, NORMAL, T0).unwrap();
+    assert!(!fs.shared_with_snapshot(snap, ino, PageIndex(1)).unwrap());
+    assert!(fs.shared_with_snapshot(snap, ino, PageIndex(0)).unwrap());
+    // The old block survives (the snapshot still references it).
+    assert_eq!(fs.blocks().refcount_of(b1).unwrap(), 1);
+    assert_eq!(
+        fs.snapshot_block(snap, ino, PageIndex(1)).unwrap(),
+        Some(b1)
+    );
+}
+
+#[test]
+fn deleting_file_preserves_snapshot_blocks() {
+    let mut fs = make_fs(1024, 64);
+    let ino = fs.populate_file(fs.root(), "f", page_bytes(3)).unwrap();
+    let b0 = fs.fibmap(ino, PageIndex(0)).unwrap().unwrap();
+    let snap = fs.create_snapshot().unwrap();
+    fs.delete_file(ino).unwrap();
+    assert!(!fs.inodes().exists(ino));
+    // Blocks still held by the snapshot.
+    assert_eq!(fs.blocks().refcount_of(b0).unwrap(), 1);
+    assert_eq!(fs.allocated_blocks(), 3);
+    assert_eq!(
+        fs.snapshot_block(snap, ino, PageIndex(0)).unwrap(),
+        Some(b0)
+    );
+    // Live page no longer shared (file gone).
+    assert!(!fs.shared_with_snapshot(snap, ino, PageIndex(0)).unwrap());
+    // Deleting the snapshot frees everything.
+    fs.delete_snapshot(snap).unwrap();
+    assert_eq!(fs.allocated_blocks(), 0);
+}
+
+#[test]
+fn snapshot_total_pages() {
+    let mut fs = make_fs(1024, 64);
+    fs.populate_file(fs.root(), "a", page_bytes(3)).unwrap();
+    fs.populate_file(fs.root(), "b", page_bytes(5)).unwrap();
+    let snap = fs.create_snapshot().unwrap();
+    assert_eq!(fs.snapshot(snap).unwrap().total_pages(), 8);
+    assert_eq!(fs.snapshot(snap).unwrap().files.len(), 2);
+}
+
+#[test]
+fn defrag_merges_extents() {
+    let mut fs = make_fs(4096, 256);
+    let ino = fs.populate_file(fs.root(), "f", page_bytes(16)).unwrap();
+    fs.fragment_file(ino, 4).unwrap();
+    let before = fs.file_extent_count(ino).unwrap();
+    assert!(before >= 4, "fragment_file produced {before} extents");
+    let r = fs.defrag_file(ino, IDLE, T0).unwrap();
+    assert_eq!(r.extents_before, before);
+    assert_eq!(r.extents_after, 1);
+    assert_eq!(r.pages, 16);
+    // Cold cache: all pages read, all written.
+    assert_eq!(r.stats.blocks_read, 16);
+    assert_eq!(r.stats.blocks_written, 16);
+    assert_eq!(r.cached_pages, 0);
+    assert_eq!(fs.file_extent_count(ino).unwrap(), 1);
+    assert_eq!(fs.allocated_blocks(), 16, "old space freed");
+}
+
+#[test]
+fn defrag_uses_cached_pages() {
+    let mut fs = make_fs(4096, 256);
+    let ino = fs.populate_file(fs.root(), "f", page_bytes(16)).unwrap();
+    fs.fragment_file(ino, 4).unwrap();
+    // Warm half the file.
+    fs.read(ino, 0, page_bytes(8), NORMAL, T0).unwrap();
+    let r = fs.defrag_file(ino, IDLE, T0).unwrap();
+    assert_eq!(r.cached_pages, 8);
+    assert_eq!(r.stats.blocks_read, 8, "only the cold half was read");
+    assert_eq!(r.stats.blocks_written, 16);
+}
+
+#[test]
+fn defrag_skips_unfragmented() {
+    let mut fs = make_fs(1024, 64);
+    let ino = fs.populate_file(fs.root(), "f", page_bytes(8)).unwrap();
+    let r = fs.defrag_file(ino, IDLE, T0).unwrap();
+    assert_eq!(r.stats.total_blocks(), 0);
+    assert_eq!(r.extents_before, 1);
+}
+
+#[test]
+fn fragment_file_scatters_physically() {
+    let mut fs = make_fs(4096, 64);
+    let ino = fs.populate_file(fs.root(), "f", page_bytes(12)).unwrap();
+    fs.fragment_file(ino, 3).unwrap();
+    let node = fs.inodes().get(ino).unwrap();
+    let extents: Vec<_> = node.extents.iter().copied().collect();
+    assert!(extents.len() >= 3);
+    // Physically non-adjacent.
+    for w in extents.windows(2) {
+        assert_ne!(
+            w[0].physical.raw() + w[0].len,
+            w[1].physical.raw(),
+            "extents are physically adjacent; fragmentation failed"
+        );
+    }
+    // All pages still mapped.
+    assert_eq!(node.extents.mapped_pages(), 12);
+}
+
+#[test]
+fn rename_and_fs_events() {
+    let mut fs = make_fs(1024, 64);
+    let dir = fs.mkdir(fs.root(), "d").unwrap();
+    let ino = fs.populate_file(fs.root(), "f", page_bytes(1)).unwrap();
+    fs.drain_fs_events();
+    fs.rename(ino, dir, "g").unwrap();
+    let evs = fs.drain_fs_events();
+    assert_eq!(evs.len(), 1);
+    match evs[0] {
+        FsEvent::Renamed {
+            ino: i,
+            old_parent,
+            new_parent,
+            is_dir,
+        } => {
+            assert_eq!(i, ino);
+            assert_eq!(old_parent, fs.root());
+            assert_eq!(new_parent, dir);
+            assert!(!is_dir);
+        }
+        other => panic!("unexpected event {other:?}"),
+    }
+    assert_eq!(fs.path_of(ino).unwrap(), "/d/g");
+}
+
+#[test]
+fn create_delete_events() {
+    let mut fs = make_fs(1024, 64);
+    let ino = fs.populate_file(fs.root(), "f", page_bytes(1)).unwrap();
+    let evs = fs.drain_fs_events();
+    assert!(matches!(evs[0], FsEvent::Created { is_dir: false, .. }));
+    fs.delete_file(ino).unwrap();
+    let evs = fs.drain_fs_events();
+    assert!(matches!(evs[0], FsEvent::Deleted { .. }));
+}
+
+#[test]
+fn delete_removes_cached_pages() {
+    let mut fs = make_fs(1024, 64);
+    let ino = fs.populate_file(fs.root(), "f", page_bytes(4)).unwrap();
+    fs.read(ino, 0, page_bytes(4), NORMAL, T0).unwrap();
+    assert_eq!(fs.cache().len(), 4);
+    fs.cache_mut().drain_events();
+    fs.delete_file(ino).unwrap();
+    assert_eq!(fs.cache().len(), 0);
+    let evs = fs.cache_mut().drain_events();
+    assert_eq!(
+        evs.iter().filter(|(_, e)| *e == PageEvent::Removed).count(),
+        4
+    );
+    assert_eq!(fs.allocated_blocks(), 0);
+}
+
+#[test]
+fn allocated_ranges_cover_all_data() {
+    let mut fs = make_fs(4096, 64);
+    fs.populate_file(fs.root(), "a", page_bytes(10)).unwrap();
+    fs.populate_file(fs.root(), "b", page_bytes(6)).unwrap();
+    let total: u64 = fs.allocated_ranges().iter().map(|r| r.len).sum();
+    assert_eq!(total, 16);
+    assert_eq!(total, fs.allocated_blocks());
+}
+
+#[test]
+fn backrefs_follow_cow() {
+    let mut fs = make_fs(1024, 64);
+    let ino = fs.populate_file(fs.root(), "f", page_bytes(2)).unwrap();
+    let b0 = fs.fibmap(ino, PageIndex(0)).unwrap().unwrap();
+    let br = fs.backref_of(b0).unwrap().unwrap();
+    assert_eq!(br.ino, ino);
+    assert_eq!(br.index, PageIndex(0));
+    // After COW, the new block carries the backref; the old one none.
+    fs.write(ino, 0, PAGE_SIZE, NORMAL, T0).unwrap();
+    assert_eq!(fs.backref_of(b0).unwrap(), None);
+    let b0_new = fs.fibmap(ino, PageIndex(0)).unwrap().unwrap();
+    assert_eq!(fs.backref_of(b0_new).unwrap().unwrap().ino, ino);
+}
+
+#[test]
+fn read_beyond_eof_is_clamped() {
+    let mut fs = make_fs(1024, 64);
+    let ino = fs.populate_file(fs.root(), "f", page_bytes(2)).unwrap();
+    let s = fs.read(ino, 0, page_bytes(100), NORMAL, T0).unwrap();
+    assert_eq!(s.blocks_read, 2);
+    let s2 = fs.read(ino, page_bytes(50), PAGE_SIZE, NORMAL, T0).unwrap();
+    assert_eq!(s2.total_blocks(), 0);
+}
+
+#[test]
+fn no_space_reported() {
+    let mut fs = make_fs(8, 64);
+    let err = fs
+        .populate_file(fs.root(), "big", page_bytes(9))
+        .unwrap_err();
+    assert_eq!(err, SimError::NoSpace);
+}
+
+#[test]
+fn mean_extents_per_file_reflects_fragmentation() {
+    let mut fs = make_fs(4096, 64);
+    let a = fs.populate_file(fs.root(), "a", page_bytes(8)).unwrap();
+    fs.populate_file(fs.root(), "b", page_bytes(8)).unwrap();
+    assert!((fs.mean_extents_per_file() - 1.0).abs() < 1e-9);
+    fs.fragment_file(a, 4).unwrap();
+    assert!(fs.mean_extents_per_file() > 2.0);
+}
+
+#[test]
+fn delete_nonexistent_and_dir_errors() {
+    let mut fs = make_fs(1024, 64);
+    assert!(matches!(
+        fs.delete_file(InodeNr(99)),
+        Err(SimError::NoSuchInode(_))
+    ));
+    let d = fs.mkdir(fs.root(), "d").unwrap();
+    assert!(matches!(
+        fs.delete_file(d),
+        Err(SimError::InvalidArgument(_))
+    ));
+}
+
+#[test]
+fn write_to_missing_file_errors() {
+    let mut fs = make_fs(1024, 64);
+    assert!(matches!(
+        fs.write(InodeNr(42), 0, 1, NORMAL, T0),
+        Err(SimError::NoSuchInode(_))
+    ));
+}
+
+#[test]
+fn snapshot_block_absent_for_post_snapshot_files() {
+    let mut fs = make_fs(1024, 64);
+    let snap = fs.create_snapshot().unwrap();
+    let ino = fs.populate_file(fs.root(), "new", page_bytes(2)).unwrap();
+    assert_eq!(fs.snapshot_block(snap, ino, PageIndex(0)).unwrap(), None);
+    assert!(!fs.shared_with_snapshot(snap, ino, PageIndex(0)).unwrap());
+}
+
+#[test]
+fn fsck_passes_on_healthy_fs_and_catches_corruption() {
+    let mut fs = make_fs(1024, 64);
+    let ino = fs.populate_file(fs.root(), "f", page_bytes(4)).unwrap();
+    fs.read(ino, 0, page_bytes(4), NORMAL, T0).unwrap();
+    fs.check_consistency().unwrap();
+    // Snapshots and COW keep it consistent.
+    let snap = fs.create_snapshot().unwrap();
+    fs.write(ino, 0, PAGE_SIZE, NORMAL, T0).unwrap();
+    fs.check_consistency().unwrap();
+    fs.delete_snapshot(snap).unwrap();
+    fs.check_consistency().unwrap();
+    // A refcount corruption is detected.
+    let b = fs.fibmap(ino, PageIndex(1)).unwrap().unwrap();
+    fs.corrupt_refcount_for_test(b);
+    let err = fs.check_consistency().unwrap_err();
+    assert!(err.to_string().contains("fsck"), "{err}");
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone, Copy)]
+    enum Churn {
+        Write { file: u8, page: u8 },
+        Append { file: u8 },
+        Delete { file: u8 },
+        Read { file: u8 },
+        Defrag { file: u8 },
+        Writeback,
+    }
+
+    fn churn_strategy() -> impl Strategy<Value = Churn> {
+        prop_oneof![
+            4 => (0u8..6, 0u8..8).prop_map(|(file, page)| Churn::Write { file, page }),
+            2 => (0u8..6).prop_map(|file| Churn::Append { file }),
+            1 => (0u8..6).prop_map(|file| Churn::Delete { file }),
+            3 => (0u8..6).prop_map(|file| Churn::Read { file }),
+            1 => (0u8..6).prop_map(|file| Churn::Defrag { file }),
+            1 => Just(Churn::Writeback),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Snapshots are immutable: whatever churn the live filesystem
+        /// sees — overwrites, appends, deletions, defragmentation —
+        /// every (file, page) → block mapping captured at snapshot time
+        /// stays intact and its blocks stay allocated, until the
+        /// snapshot is deleted; then all space is reclaimed.
+        #[test]
+        fn snapshot_mappings_survive_arbitrary_churn(
+            ops in prop::collection::vec(churn_strategy(), 1..80),
+        ) {
+            let mut fs = make_fs(1 << 14, 256);
+            let mut files = Vec::new();
+            for i in 0..6u64 {
+                files.push(
+                    fs.populate_file(fs.root(), &format!("f{i}"), page_bytes(8))
+                        .unwrap(),
+                );
+            }
+            let snap = fs.create_snapshot().unwrap();
+            // Capture the ground truth.
+            let mut truth = Vec::new();
+            for &ino in &files {
+                for p in 0..8u64 {
+                    truth.push((
+                        ino,
+                        p,
+                        fs.snapshot_block(snap, ino, PageIndex(p)).unwrap(),
+                    ));
+                }
+            }
+            let mut alive: Vec<bool> = vec![true; files.len()];
+            for op in ops {
+                match op {
+                    Churn::Write { file, page } => {
+                        let i = file as usize;
+                        if alive[i] {
+                            fs.write(
+                                files[i],
+                                page as u64 * PAGE_SIZE,
+                                PAGE_SIZE,
+                                NORMAL,
+                                T0,
+                            )
+                            .unwrap();
+                        }
+                    }
+                    Churn::Append { file } => {
+                        let i = file as usize;
+                        if alive[i] {
+                            fs.append(files[i], PAGE_SIZE, NORMAL, T0).unwrap();
+                        }
+                    }
+                    Churn::Delete { file } => {
+                        let i = file as usize;
+                        if alive[i] {
+                            fs.delete_file(files[i]).unwrap();
+                            alive[i] = false;
+                        }
+                    }
+                    Churn::Read { file } => {
+                        let i = file as usize;
+                        if alive[i] {
+                            let size = fs.inodes().get(files[i]).unwrap().size_bytes;
+                            fs.read(files[i], 0, size, NORMAL, T0).unwrap();
+                        }
+                    }
+                    Churn::Defrag { file } => {
+                        let i = file as usize;
+                        if alive[i] {
+                            fs.defrag_file(files[i], IDLE, T0).unwrap();
+                        }
+                    }
+                    Churn::Writeback => {
+                        fs.background_writeback(64, NORMAL, T0).unwrap();
+                    }
+                }
+                fs.check_consistency().expect("fsck");
+                // The snapshot view never changes.
+                for &(ino, p, expected) in &truth {
+                    prop_assert_eq!(
+                        fs.snapshot_block(snap, ino, PageIndex(p)).unwrap(),
+                        expected
+                    );
+                    if let Some(b) = expected {
+                        prop_assert!(
+                            fs.blocks().refcount_of(b).unwrap() >= 1,
+                            "snapshot block freed under churn"
+                        );
+                    }
+                }
+            }
+            // Deleting live files and the snapshot reclaims everything.
+            for (i, &ino) in files.iter().enumerate() {
+                if alive[i] {
+                    fs.delete_file(ino).unwrap();
+                }
+            }
+            fs.delete_snapshot(snap).unwrap();
+            prop_assert_eq!(fs.allocated_blocks(), 0, "space leak");
+        }
+    }
+}
+
+#[test]
+fn raw_read_bypasses_cache() {
+    let mut fs = make_fs(1024, 64);
+    fs.populate_file(fs.root(), "f", page_bytes(4)).unwrap();
+    let s = fs.read_raw(BlockNr(0), 4, IDLE, T0).unwrap();
+    assert_eq!(s.blocks_read, 4);
+    assert_eq!(fs.cache().len(), 0);
+    assert_eq!(fs.cache_mut().drain_events().len(), 0);
+}

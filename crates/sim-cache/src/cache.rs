@@ -1,0 +1,693 @@
+//! The page cache: LRU-managed, dirty-tracking, event-emitting.
+//!
+//! This is the component Duet hooks into. Every mutation (add, remove,
+//! dirty, flush) appends a [`PageEvent`] to an internal queue; the
+//! simulation wiring drains the queue into the Duet framework after each
+//! filesystem operation, mirroring the kernel implementation's "hooks in
+//! the Linux page cache" (§4.2) while keeping ownership single-threaded.
+//!
+//! The cache never performs I/O itself. Operations that imply device
+//! writes (evicting a dirty page, a writeback batch) *return* the pages
+//! involved so the filesystem layer can charge the corresponding disk
+//! requests, then record the flush here.
+
+use crate::page::{PageEvent, PageKey, PageMeta};
+use sim_core::{BlockNr, InodeNr};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Cache hit/miss and traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the page.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Pages inserted.
+    pub insertions: u64,
+    /// Pages evicted by capacity pressure.
+    pub evictions: u64,
+    /// Pages cleaned by writeback (including flush-on-evict).
+    pub writebacks: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    block: Option<BlockNr>,
+    dirty: bool,
+    tick: u64,
+}
+
+/// An LRU page cache with dirty tracking and an event queue.
+///
+/// # Examples
+///
+/// ```
+/// use sim_cache::{PageCache, PageEvent, PageKey};
+/// use sim_core::{BlockNr, InodeNr, PageIndex};
+///
+/// let mut cache = PageCache::new(2);
+/// let key = PageKey::new(InodeNr(1), PageIndex(0));
+/// cache.insert(key, Some(BlockNr(100)), false);
+/// assert!(cache.contains(key));
+/// let events = cache.drain_events();
+/// assert_eq!(events[0].1, PageEvent::Added);
+/// ```
+#[derive(Debug)]
+pub struct PageCache {
+    capacity: usize,
+    entries: HashMap<PageKey, Entry>,
+    /// LRU order: ascending tick = least recently used first.
+    lru: BTreeMap<u64, PageKey>,
+    tick: u64,
+    events: VecDeque<(PageMeta, PageEvent)>,
+    stats: CacheStats,
+    /// Cached-page count per file, for O(1) residency queries.
+    per_ino: HashMap<InodeNr, usize>,
+    /// Pages deprioritized for eviction (informed replacement): pages
+    /// whose Duet notifications have not been consumed yet. An
+    /// *extension* beyond the paper, which names informed cache
+    /// replacement as future work (§2). Protection is advisory — a
+    /// protected page is still evicted when nothing else is available,
+    /// so this never degenerates into pinning (which §3.1 avoids).
+    protected: std::collections::HashSet<PageKey>,
+}
+
+impl PageCache {
+    /// Creates a cache holding at most `capacity` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "page cache capacity must be positive");
+        PageCache {
+            capacity,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+            events: VecDeque::new(),
+            stats: CacheStats::default(),
+            per_ino: HashMap::new(),
+            protected: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Replaces the advisory protection set (informed replacement).
+    /// Keys beyond `max` are ignored so protection can never cover the
+    /// whole cache.
+    pub fn set_protected<I: IntoIterator<Item = PageKey>>(&mut self, keys: I, max: usize) {
+        self.protected.clear();
+        for k in keys.into_iter().take(max) {
+            self.protected.insert(k);
+        }
+    }
+
+    /// Number of currently protected keys.
+    pub fn protected_len(&self) -> usize {
+        self.protected.len()
+    }
+
+    fn ino_inc(&mut self, ino: InodeNr) {
+        *self.per_ino.entry(ino).or_insert(0) += 1;
+    }
+
+    fn ino_dec(&mut self, ino: InodeNr) {
+        match self.per_ino.get_mut(&ino) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                self.per_ino.remove(&ino);
+            }
+            None => debug_assert!(false, "per-inode count underflow"),
+        }
+    }
+
+    /// Maximum number of pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of cached pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the cache holds no pages.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn meta(key: PageKey, e: &Entry) -> PageMeta {
+        PageMeta {
+            key,
+            block: e.block,
+            dirty: e.dirty,
+        }
+    }
+
+    fn touch(&mut self, key: PageKey) {
+        let Some(e) = self.entries.get_mut(&key) else {
+            return;
+        };
+        self.lru.remove(&e.tick);
+        self.tick += 1;
+        e.tick = self.tick;
+        self.lru.insert(self.tick, key);
+    }
+
+    fn push_event(&mut self, meta: PageMeta, ev: PageEvent) {
+        self.events.push_back((meta, ev));
+    }
+
+    /// Looks up a page, counting a hit or miss and refreshing LRU
+    /// position on a hit.
+    pub fn lookup(&mut self, key: PageKey) -> Option<PageMeta> {
+        if let Some(e) = self.entries.get(&key) {
+            let m = Self::meta(key, e);
+            self.stats.hits += 1;
+            self.touch(key);
+            Some(m)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Looks up a page without touching LRU order or statistics.
+    pub fn peek(&self, key: PageKey) -> Option<PageMeta> {
+        self.entries.get(&key).map(|e| Self::meta(key, e))
+    }
+
+    /// Returns `true` if the page is cached (no LRU side effects).
+    pub fn contains(&self, key: PageKey) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Inserts (or refreshes) a page and returns any pages evicted to
+    /// make room. Evicted entries carry their pre-eviction dirty flag;
+    /// the caller must charge a device write for each dirty one (the
+    /// cache emits `Flushed` followed by `Removed` for them).
+    ///
+    /// Inserting an already-cached page refreshes its LRU position,
+    /// updates the block mapping if `block` is `Some`, and dirties it if
+    /// `dirty` is set.
+    pub fn insert(&mut self, key: PageKey, block: Option<BlockNr>, dirty: bool) -> Vec<PageMeta> {
+        if self.entries.contains_key(&key) {
+            if let Some(b) = block {
+                self.set_block(key, b);
+            }
+            if dirty {
+                self.mark_dirty(key);
+            }
+            self.touch(key);
+            return Vec::new();
+        }
+        self.tick += 1;
+        let entry = Entry {
+            block,
+            dirty,
+            tick: self.tick,
+        };
+        self.entries.insert(key, entry);
+        self.lru.insert(self.tick, key);
+        self.ino_inc(key.ino);
+        self.stats.insertions += 1;
+        let meta = Self::meta(key, &entry);
+        self.push_event(meta, PageEvent::Added);
+        if dirty {
+            self.push_event(meta, PageEvent::Dirtied);
+        }
+        self.evict_overflow()
+    }
+
+    /// How far down the LRU list eviction searches for a clean victim
+    /// before falling back to flushing the oldest (dirty) page. Page
+    /// reclaim prefers clean pages — dirty ones are left for the
+    /// batched background flusher — but the search must stay bounded.
+    const CLEAN_SCAN: usize = 1024;
+
+    fn evict_overflow(&mut self) -> Vec<PageMeta> {
+        let mut evicted = Vec::new();
+        while self.entries.len() > self.capacity {
+            // Prefer the least-recently-used *clean, unprotected* page;
+            // then clean protected; every entry except the most recent
+            // (the page being inserted) is a candidate, up to a bounded
+            // scan depth. Dirty LRU fallback last.
+            let scan = Self::CLEAN_SCAN
+                .min(self.entries.len().saturating_sub(1))
+                .max(1);
+            let mut clean_protected = None;
+            let mut chosen = None;
+            for (&t, k) in self.lru.iter().take(scan) {
+                if self.entries[k].dirty {
+                    continue;
+                }
+                if self.protected.contains(k) {
+                    if clean_protected.is_none() {
+                        clean_protected = Some(t);
+                    }
+                } else {
+                    chosen = Some(t);
+                    break;
+                }
+            }
+            let victim_tick = chosen
+                .or(clean_protected)
+                .unwrap_or_else(|| *self.lru.keys().next().expect("lru empty with entries"));
+            let victim = self.lru.remove(&victim_tick).expect("victim vanished");
+            let e = self
+                .entries
+                .remove(&victim)
+                .expect("entry missing for lru key");
+            self.ino_dec(victim.ino);
+            let before = Self::meta(victim, &e);
+            if e.dirty {
+                self.stats.writebacks += 1;
+                let clean = PageMeta {
+                    dirty: false,
+                    ..before
+                };
+                self.push_event(clean, PageEvent::Flushed);
+                self.push_event(clean, PageEvent::Removed);
+            } else {
+                self.push_event(before, PageEvent::Removed);
+            }
+            self.stats.evictions += 1;
+            evicted.push(before);
+        }
+        evicted
+    }
+
+    /// Sets the dirty bit. Returns `true` if the page was present and
+    /// transitioned from clean to dirty (emitting `Dirtied`).
+    pub fn mark_dirty(&mut self, key: PageKey) -> bool {
+        let Some(e) = self.entries.get_mut(&key) else {
+            return false;
+        };
+        if e.dirty {
+            self.touch(key);
+            return false;
+        }
+        e.dirty = true;
+        let meta = Self::meta(key, e);
+        self.push_event(meta, PageEvent::Dirtied);
+        self.touch(key);
+        true
+    }
+
+    /// Resolves a delayed allocation: records the physical block backing
+    /// the page. No event is emitted; the block will ride along on the
+    /// next event's metadata (the paper defers such pages "to be
+    /// returned by a later fetch operation", §4.2).
+    pub fn set_block(&mut self, key: PageKey, block: BlockNr) {
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.block = Some(block);
+        }
+    }
+
+    /// Takes up to `max` dirty pages for background writeback, oldest
+    /// first. The pages are marked clean and `Flushed` events are
+    /// emitted; the caller must issue the corresponding device writes.
+    pub fn writeback_batch(&mut self, max: usize) -> Vec<PageMeta> {
+        let victims: Vec<PageKey> = self
+            .lru
+            .values()
+            .copied()
+            .filter(|k| self.entries[k].dirty)
+            .take(max)
+            .collect();
+        let mut out = Vec::with_capacity(victims.len());
+        for key in victims {
+            let e = self.entries.get_mut(&key).expect("victim vanished");
+            e.dirty = false;
+            self.stats.writebacks += 1;
+            let meta = Self::meta(key, e);
+            self.push_event(meta, PageEvent::Flushed);
+            out.push(meta);
+        }
+        out
+    }
+
+    /// Flushes all dirty pages of one file (fsync-style). Marks them
+    /// clean, emits `Flushed`, and returns them for the caller to write.
+    pub fn flush_file(&mut self, ino: InodeNr) -> Vec<PageMeta> {
+        let victims: Vec<PageKey> = self
+            .entries
+            .iter()
+            .filter(|(k, e)| k.ino == ino && e.dirty)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut out = Vec::with_capacity(victims.len());
+        for key in victims {
+            let e = self.entries.get_mut(&key).expect("victim vanished");
+            e.dirty = false;
+            self.stats.writebacks += 1;
+            let meta = Self::meta(key, e);
+            self.push_event(meta, PageEvent::Flushed);
+            out.push(meta);
+        }
+        out
+    }
+
+    /// Invalidates every page of a file (delete/truncate): emits
+    /// `Removed` for each and discards dirty data (the file is going
+    /// away). Returns the removed pages.
+    pub fn remove_file(&mut self, ino: InodeNr) -> Vec<PageMeta> {
+        let victims: Vec<PageKey> = self
+            .entries
+            .keys()
+            .filter(|k| k.ino == ino)
+            .copied()
+            .collect();
+        let mut out = Vec::with_capacity(victims.len());
+        for key in victims {
+            if let Some(m) = self.remove(key) {
+                out.push(m);
+            }
+        }
+        out
+    }
+
+    /// Invalidates a single page, emitting `Removed`. Returns its
+    /// pre-removal metadata if it was present.
+    pub fn remove(&mut self, key: PageKey) -> Option<PageMeta> {
+        let e = self.entries.remove(&key)?;
+        self.ino_dec(key.ino);
+        self.lru.remove(&e.tick);
+        let meta = Self::meta(key, &e);
+        self.push_event(meta, PageEvent::Removed);
+        Some(meta)
+    }
+
+    /// Iterates over all cached pages in unspecified order (used by the
+    /// Duet registration scan, §4.1).
+    pub fn iter(&self) -> impl Iterator<Item = PageMeta> + '_ {
+        self.entries.iter().map(|(k, e)| Self::meta(*k, e))
+    }
+
+    /// Number of cached pages belonging to `ino` (O(1)).
+    pub fn pages_of(&self, ino: InodeNr) -> usize {
+        self.per_ino.get(&ino).copied().unwrap_or(0)
+    }
+
+    /// Cached pages of one file.
+    pub fn pages_of_file(&self, ino: InodeNr) -> Vec<PageMeta> {
+        if self.pages_of(ino) == 0 {
+            return Vec::new();
+        }
+        self.entries
+            .iter()
+            .filter(|(k, _)| k.ino == ino)
+            .map(|(k, e)| Self::meta(*k, e))
+            .collect()
+    }
+
+    /// Drains and returns all pending page events in occurrence order.
+    pub fn drain_events(&mut self) -> Vec<(PageMeta, PageEvent)> {
+        self.events.drain(..).collect()
+    }
+
+    /// Number of undrained events (for overhead accounting).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::PageIndex;
+
+    fn key(ino: u64, idx: u64) -> PageKey {
+        PageKey::new(InodeNr(ino), PageIndex(idx))
+    }
+
+    #[test]
+    fn insert_lookup_hit_miss() {
+        let mut c = PageCache::new(4);
+        let k = key(1, 0);
+        assert!(c.lookup(k).is_none());
+        c.insert(k, Some(BlockNr(7)), false);
+        let m = c.lookup(k).expect("hit");
+        assert_eq!(m.block, Some(BlockNr(7)));
+        assert!(!m.dirty);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = PageCache::new(2);
+        c.insert(key(1, 0), None, false);
+        c.insert(key(1, 1), None, false);
+        c.lookup(key(1, 0)); // 1,1 becomes LRU
+        let evicted = c.insert(key(1, 2), None, false);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].key, key(1, 1));
+        assert!(c.contains(key(1, 0)));
+        assert!(!c.contains(key(1, 1)));
+    }
+
+    #[test]
+    fn eviction_prefers_clean_pages() {
+        let mut c = PageCache::new(4);
+        // Two old dirty pages, two old clean pages.
+        c.insert(key(1, 0), Some(BlockNr(10)), true);
+        c.insert(key(1, 1), Some(BlockNr(11)), true);
+        c.insert(key(2, 0), Some(BlockNr(20)), false);
+        c.insert(key(2, 1), Some(BlockNr(21)), false);
+        c.drain_events();
+        // Inserting one more evicts the oldest *clean* page, not the
+        // older dirty ones (those wait for the background flusher).
+        let evicted = c.insert(key(3, 0), None, false);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].key, key(2, 0), "clean page chosen");
+        assert!(!evicted[0].dirty);
+        assert!(c.contains(key(1, 0)), "dirty page survived");
+        assert!(c.contains(key(1, 1)));
+    }
+
+    #[test]
+    fn eviction_never_steals_the_inserted_page() {
+        let mut c = PageCache::new(1);
+        c.insert(key(1, 0), None, true);
+        c.drain_events();
+        // The only other entry is the incoming page; the dirty LRU page
+        // must be flush-evicted instead of the insertion being undone.
+        let evicted = c.insert(key(2, 0), None, false);
+        assert_eq!(evicted[0].key, key(1, 0));
+        assert!(evicted[0].dirty, "fallback flush-evicts the LRU page");
+        assert!(c.contains(key(2, 0)), "incoming page survives");
+    }
+
+    #[test]
+    fn protected_pages_evicted_last() {
+        let mut c = PageCache::new(4);
+        for i in 0..4 {
+            c.insert(key(1, i), None, false);
+        }
+        c.drain_events();
+        // Protect the two oldest pages.
+        c.set_protected([key(1, 0), key(1, 1)], 16);
+        assert_eq!(c.protected_len(), 2);
+        let evicted = c.insert(key(2, 0), None, false);
+        assert_eq!(evicted[0].key, key(1, 2), "oldest unprotected chosen");
+        // With everything protected, protection is advisory: the LRU
+        // clean page still goes (no pinning).
+        c.set_protected((0..4).map(|i| key(1, i)).chain([key(2, 0)]), 16);
+        let evicted = c.insert(key(2, 1), None, false);
+        assert_eq!(evicted[0].key, key(1, 0));
+    }
+
+    #[test]
+    fn protection_cap_enforced() {
+        let mut c = PageCache::new(4);
+        c.set_protected((0..100).map(|i| key(9, i)), 10);
+        assert_eq!(c.protected_len(), 10);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = PageCache::new(1);
+        c.insert(key(1, 0), Some(BlockNr(5)), true);
+        c.drain_events();
+        let evicted = c.insert(key(2, 0), None, false);
+        assert_eq!(evicted.len(), 1);
+        assert!(evicted[0].dirty, "caller must charge a write");
+        let evs = c.drain_events();
+        // Added (new page), then Flushed + Removed for the victim.
+        let kinds: Vec<PageEvent> = evs.iter().map(|(_, e)| *e).collect();
+        assert!(kinds.contains(&PageEvent::Flushed));
+        assert!(kinds.contains(&PageEvent::Removed));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn event_sequence_for_dirty_insert() {
+        let mut c = PageCache::new(4);
+        c.insert(key(1, 0), None, true);
+        let evs = c.drain_events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].1, PageEvent::Added);
+        assert_eq!(evs[1].1, PageEvent::Dirtied);
+        assert!(evs[1].0.dirty);
+    }
+
+    #[test]
+    fn mark_dirty_transitions_once() {
+        let mut c = PageCache::new(4);
+        c.insert(key(1, 0), None, false);
+        c.drain_events();
+        assert!(c.mark_dirty(key(1, 0)));
+        assert!(!c.mark_dirty(key(1, 0)), "already dirty");
+        assert!(!c.mark_dirty(key(9, 9)), "absent page");
+        let evs = c.drain_events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].1, PageEvent::Dirtied);
+    }
+
+    #[test]
+    fn writeback_batch_cleans_oldest_first() {
+        let mut c = PageCache::new(8);
+        for i in 0..4 {
+            c.insert(key(1, i), Some(BlockNr(i)), true);
+        }
+        c.drain_events();
+        let batch = c.writeback_batch(2);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].key, key(1, 0));
+        assert_eq!(batch[1].key, key(1, 1));
+        assert!(!c.peek(key(1, 0)).unwrap().dirty);
+        assert!(c.peek(key(1, 3)).unwrap().dirty);
+        let evs = c.drain_events();
+        assert!(evs.iter().all(|(_, e)| *e == PageEvent::Flushed));
+        assert_eq!(evs.len(), 2);
+    }
+
+    #[test]
+    fn flush_file_cleans_only_that_file() {
+        let mut c = PageCache::new(8);
+        c.insert(key(1, 0), None, true);
+        c.insert(key(2, 0), None, true);
+        c.drain_events();
+        let flushed = c.flush_file(InodeNr(1));
+        assert_eq!(flushed.len(), 1);
+        assert!(!c.peek(key(1, 0)).unwrap().dirty);
+        assert!(c.peek(key(2, 0)).unwrap().dirty);
+    }
+
+    #[test]
+    fn remove_file_invalidates_all_pages() {
+        let mut c = PageCache::new(8);
+        c.insert(key(1, 0), None, false);
+        c.insert(key(1, 1), None, true);
+        c.insert(key(2, 0), None, false);
+        c.drain_events();
+        let removed = c.remove_file(InodeNr(1));
+        assert_eq!(removed.len(), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.pages_of(InodeNr(1)), 0);
+        let evs = c.drain_events();
+        assert!(evs.iter().all(|(_, e)| *e == PageEvent::Removed));
+    }
+
+    #[test]
+    fn set_block_resolves_delayed_allocation() {
+        let mut c = PageCache::new(4);
+        c.insert(key(1, 0), None, true);
+        assert_eq!(c.peek(key(1, 0)).unwrap().block, None);
+        c.set_block(key(1, 0), BlockNr(42));
+        assert_eq!(c.peek(key(1, 0)).unwrap().block, Some(BlockNr(42)));
+        // No event from block resolution.
+        let evs = c.drain_events();
+        assert!(evs.iter().all(|(_, e)| *e != PageEvent::Flushed));
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let mut c = PageCache::new(4);
+        c.insert(key(1, 0), Some(BlockNr(1)), false);
+        c.drain_events();
+        let evicted = c.insert(key(1, 0), Some(BlockNr(2)), true);
+        assert!(evicted.is_empty());
+        assert_eq!(c.len(), 1);
+        let m = c.peek(key(1, 0)).unwrap();
+        assert_eq!(m.block, Some(BlockNr(2)));
+        assert!(m.dirty);
+        let evs = c.drain_events();
+        assert_eq!(evs.len(), 1, "only the Dirtied transition");
+        assert_eq!(evs[0].1, PageEvent::Dirtied);
+    }
+
+    #[test]
+    fn iter_covers_all_entries() {
+        let mut c = PageCache::new(8);
+        for i in 0..5 {
+            c.insert(key(i, 0), None, i % 2 == 0);
+        }
+        assert_eq!(c.iter().count(), 5);
+        assert_eq!(c.iter().filter(|m| m.dirty).count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = PageCache::new(0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The cache never exceeds capacity, and LRU bookkeeping
+            /// stays consistent under arbitrary operation sequences.
+            #[test]
+            fn capacity_and_consistency(
+                cap in 1usize..8,
+                ops in prop::collection::vec((0u8..5, 0u64..6, 0u64..4), 0..200),
+            ) {
+                let mut c = PageCache::new(cap);
+                for (op, ino, idx) in ops {
+                    let k = key(ino, idx);
+                    match op {
+                        0 => { c.insert(k, None, false); }
+                        1 => { c.insert(k, Some(BlockNr(ino * 10 + idx)), true); }
+                        2 => { c.lookup(k); }
+                        3 => { c.mark_dirty(k); }
+                        _ => { c.remove(k); }
+                    }
+                    prop_assert!(c.len() <= cap);
+                    prop_assert_eq!(c.iter().count(), c.len());
+                    // The O(1) per-inode counter agrees with a scan.
+                    let scan = c.iter().filter(|m| m.key.ino == InodeNr(ino)).count();
+                    prop_assert_eq!(c.pages_of(InodeNr(ino)), scan);
+                    prop_assert_eq!(c.pages_of_file(InodeNr(ino)).len(), scan);
+                }
+            }
+
+            /// Every Added event is eventually balanced by a Removed
+            /// event or a still-resident page.
+            #[test]
+            fn added_minus_removed_equals_resident(
+                ops in prop::collection::vec((0u8..2, 0u64..4, 0u64..4), 0..100),
+            ) {
+                let mut c = PageCache::new(3);
+                for (op, ino, idx) in ops {
+                    match op {
+                        0 => { c.insert(key(ino, idx), None, false); }
+                        _ => { c.remove(key(ino, idx)); }
+                    }
+                }
+                let evs = c.drain_events();
+                let added = evs.iter().filter(|(_, e)| *e == PageEvent::Added).count();
+                let removed = evs.iter().filter(|(_, e)| *e == PageEvent::Removed).count();
+                prop_assert_eq!(added - removed, c.len());
+            }
+        }
+    }
+}

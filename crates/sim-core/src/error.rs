@@ -1,0 +1,89 @@
+//! Shared error type for the simulated storage stack.
+
+use crate::ids::{BlockNr, InodeNr};
+use std::fmt;
+
+/// Result alias used throughout the simulation crates.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Errors produced by the simulated storage stack and the Duet framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The referenced inode does not exist (or was deleted).
+    NoSuchInode(InodeNr),
+    /// A path lookup failed.
+    NoSuchPath(String),
+    /// A path component that should be a directory is not.
+    NotADirectory(String),
+    /// Attempted to create an entry that already exists.
+    AlreadyExists(String),
+    /// An I/O request referenced a block outside the device.
+    BlockOutOfRange(BlockNr),
+    /// The device or filesystem ran out of space.
+    NoSpace,
+    /// A checksum verification failed (simulated latent sector error).
+    ChecksumMismatch(BlockNr),
+    /// A Duet session id is invalid or has been deregistered.
+    InvalidSession(u32),
+    /// All Duet session slots are in use (the framework supports a fixed
+    /// maximum number of concurrent sessions, per §4.2).
+    TooManySessions,
+    /// `duet_get_path` failed because the file is no longer cached or no
+    /// longer exists; the task should back out of opportunistic
+    /// processing of this item (§3.2).
+    PathNotAvailable(InodeNr),
+    /// An operation is not supported for this task or filesystem type.
+    Unsupported(&'static str),
+    /// Invalid argument with a human-readable explanation.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoSuchInode(ino) => write!(f, "no such inode: {ino}"),
+            SimError::NoSuchPath(p) => write!(f, "no such path: {p}"),
+            SimError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            SimError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            SimError::BlockOutOfRange(b) => write!(f, "block out of range: {b}"),
+            SimError::NoSpace => write!(f, "no space left on device"),
+            SimError::ChecksumMismatch(b) => write!(f, "checksum mismatch at {b}"),
+            SimError::InvalidSession(id) => write!(f, "invalid duet session: {id}"),
+            SimError::TooManySessions => write!(f, "too many concurrent duet sessions"),
+            SimError::PathNotAvailable(ino) => {
+                write!(f, "path for {ino} not available (file no longer cached)")
+            }
+            SimError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            SimError::InvalidArgument(why) => write!(f, "invalid argument: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SimError::NoSuchInode(InodeNr(3)).to_string(),
+            "no such inode: ino#3"
+        );
+        assert_eq!(SimError::NoSpace.to_string(), "no space left on device");
+        assert_eq!(
+            SimError::ChecksumMismatch(BlockNr(9)).to_string(),
+            "checksum mismatch at blk#9"
+        );
+        assert!(SimError::PathNotAvailable(InodeNr(1))
+            .to_string()
+            .contains("no longer cached"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SimError::NoSpace);
+    }
+}

@@ -1,0 +1,48 @@
+//! Simulation substrate shared by every crate in the Duet reproduction.
+//!
+//! This crate provides the building blocks of the discrete-event storage
+//! simulation used to reproduce *Opportunistic Storage Maintenance*
+//! (SOSP 2015):
+//!
+//! - [`clock`]: a virtual nanosecond clock. All experiment durations are
+//!   expressed in virtual time, so a "30-minute" run completes in
+//!   milliseconds of wall-clock time.
+//! - [`ids`]: strongly-typed identifiers for blocks, inodes, pages,
+//!   devices and segments. Newtypes prevent the classic simulator bug of
+//!   mixing up block numbers and page indices.
+//! - [`rng`]: a deterministic random-number generator plus the sampling
+//!   distributions used by the workload generator (uniform, Zipf-like,
+//!   log-normal file sizes).
+//! - [`bitmap`]: a sparse chunked bitmap, our analogue of the red-black
+//!   tree of bitmap ranges that the Duet kernel implementation uses for
+//!   its `done` and `relevant` bitmaps (§4.2 of the paper). It reports
+//!   its own memory footprint so the §6.4 memory-overhead experiment can
+//!   be reproduced.
+//! - [`stats`]: mean / standard deviation / confidence intervals and
+//!   simple counters used by the evaluation harness.
+//! - [`error`]: the shared error type.
+
+pub mod bitmap;
+pub mod clock;
+pub mod error;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+
+pub use bitmap::SparseBitmap;
+pub use clock::{Clock, SimDuration, SimInstant};
+pub use error::{SimError, SimResult};
+pub use ids::{
+    BlockNr,
+    DeviceId,
+    InodeNr,
+    PageIndex,
+    SegmentNr, //
+};
+pub use rng::SimRng;
+
+/// Size of a page (and of a filesystem block) in bytes.
+///
+/// The paper's evaluation uses Linux's 4 KiB pages and configures both
+/// Btrfs and F2fs with 4 KiB blocks, so a page maps 1:1 onto a block.
+pub const PAGE_SIZE: u64 = 4096;

@@ -1,0 +1,181 @@
+//! Statistics helpers for the evaluation harness.
+//!
+//! The paper reports averages over three runs with 95 % confidence
+//! intervals where variability is visible (§6.1.3, Table 6). These
+//! helpers compute the same summary quantities.
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 4.0);
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for no samples).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance with Bessel's correction (0 for < 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (`NaN` if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (`NaN` if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Half-width of the 95 % confidence interval for the mean, using
+    /// the normal approximation (1.96 · s/√n). The paper's "±" figures
+    /// (e.g. `11.67 ± 0.12 ms` in §6.1.3) are of this form.
+    pub fn ci95(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Percentile of a sample set via linear interpolation.
+///
+/// `p` is in `[0, 100]`. Returns `NaN` for an empty slice. The input does
+/// not need to be sorted.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.ci95(), 0.0);
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+    }
+
+    #[test]
+    fn known_moments() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance is 4; sample variance is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!(s.ci95() > 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = OnlineStats::new();
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert!((percentile(&v, 50.0) - 2.5).abs() < 1e-12);
+        // Unsorted input is handled.
+        let u = [4.0, 1.0, 3.0, 2.0];
+        assert!((percentile(&u, 50.0) - 2.5).abs() < 1e-12);
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+}

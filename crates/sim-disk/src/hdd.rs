@@ -1,0 +1,201 @@
+//! Hard-disk service-time model.
+//!
+//! The model charges each request a seek, a rotational latency and a
+//! transfer time, with two refinements that matter for the paper's
+//! results:
+//!
+//! - **Sequential continuation is free of positioning costs.** A request
+//!   that starts exactly where the previous one ended streams from the
+//!   media (or the track buffer) at the sequential transfer rate. This
+//!   is what makes the scrubber's sequential scan much cheaper per byte
+//!   than the backup tool's random per-file reads (§6.2).
+//! - **Seek time grows with the square root of distance**, the standard
+//!   first-order approximation of arm acceleration, between a minimum
+//!   (track-to-track) and a maximum (full-stroke) seek.
+//!
+//! The default parameters ([`HddModel::sas_10k`]) are calibrated to the
+//! behaviour the paper reports for its enterprise 10K-RPM SAS drive:
+//! roughly 21 MB/s for 64 KiB random reads (§6.5) and ~150 MB/s
+//! sequential streaming. We model effective positioning costs (as seen
+//! under CFQ's sorting/merging) rather than raw datasheet figures, which
+//! is why the seek constants are smaller than a datasheet average seek.
+
+use crate::request::IoRequest;
+use crate::DeviceModel;
+use sim_core::{BlockNr, SimDuration, PAGE_SIZE};
+
+/// Seek + rotation + transfer hard-disk model.
+#[derive(Debug, Clone)]
+pub struct HddModel {
+    capacity_blocks: u64,
+    /// Track-to-track seek.
+    seek_min: SimDuration,
+    /// Additional full-stroke seek cost beyond `seek_min`.
+    seek_full_extra: SimDuration,
+    /// Average rotational latency charged to non-sequential requests.
+    rotational: SimDuration,
+    /// Sequential media transfer rate, bytes per second.
+    transfer_bps: f64,
+    /// Where the head is parked after the previous request.
+    head: BlockNr,
+    /// End of the previous request, for sequential detection.
+    prev_end: Option<BlockNr>,
+}
+
+impl HddModel {
+    /// An enterprise 10K-RPM SAS drive calibrated to the paper's device
+    /// (see module docs).
+    pub fn sas_10k(capacity_blocks: u64) -> Self {
+        HddModel {
+            capacity_blocks,
+            seek_min: SimDuration::from_micros(300),
+            seek_full_extra: SimDuration::from_micros(2400),
+            rotational: SimDuration::from_micros(1000),
+            transfer_bps: 150.0e6,
+            head: BlockNr(0),
+            prev_end: None,
+        }
+    }
+
+    /// Fully parameterized constructor for sensitivity studies.
+    pub fn with_params(
+        capacity_blocks: u64,
+        seek_min: SimDuration,
+        seek_full_extra: SimDuration,
+        rotational: SimDuration,
+        transfer_bps: f64,
+    ) -> Self {
+        assert!(transfer_bps > 0.0, "transfer rate must be positive");
+        HddModel {
+            capacity_blocks,
+            seek_min,
+            seek_full_extra,
+            rotational,
+            transfer_bps,
+            head: BlockNr(0),
+            prev_end: None,
+        }
+    }
+
+    fn seek_time(&self, from: BlockNr, to: BlockNr) -> SimDuration {
+        let dist = from.distance(to);
+        if dist == 0 {
+            return SimDuration::ZERO;
+        }
+        let frac = (dist as f64 / self.capacity_blocks as f64).min(1.0);
+        self.seek_min + self.seek_full_extra.mul_f64(frac.sqrt())
+    }
+
+    fn transfer_time(&self, nblocks: u64) -> SimDuration {
+        SimDuration::from_secs_f64(nblocks as f64 * PAGE_SIZE as f64 / self.transfer_bps)
+    }
+}
+
+impl DeviceModel for HddModel {
+    fn service_time(&mut self, req: &IoRequest) -> SimDuration {
+        let sequential = self.prev_end == Some(req.start);
+        let positioning = if sequential {
+            SimDuration::ZERO
+        } else {
+            self.seek_time(self.head, req.start) + self.rotational
+        };
+        let total = positioning + self.transfer_time(req.nblocks);
+        self.head = req.end();
+        self.prev_end = Some(req.end());
+        total
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.capacity_blocks
+    }
+
+    fn name(&self) -> &'static str {
+        "hdd-sas-10k"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{IoClass, IoKind};
+
+    const CAP: u64 = 73 << 20; // ~300 GB in 4 KiB blocks.
+
+    fn read(start: u64, n: u64) -> IoRequest {
+        IoRequest::new(IoKind::Read, BlockNr(start), n, IoClass::Normal)
+    }
+
+    /// Throughput in MB/s achieved by a request pattern.
+    fn throughput(model: &mut HddModel, reqs: &[IoRequest]) -> f64 {
+        let total: SimDuration = reqs.iter().map(|r| model.service_time(r)).sum();
+        let bytes: u64 = reqs.iter().map(|r| r.bytes()).sum();
+        bytes as f64 / total.as_secs_f64() / 1e6
+    }
+
+    #[test]
+    fn sequential_streaming_near_media_rate() {
+        let mut m = HddModel::sas_10k(CAP);
+        let reqs: Vec<IoRequest> = (0..100).map(|i| read(i * 256, 256)).collect();
+        let mbps = throughput(&mut m, &reqs);
+        // First request pays a seek; the rest stream.
+        assert!(mbps > 130.0, "sequential {mbps} MB/s");
+    }
+
+    #[test]
+    fn random_64k_calibrated_to_paper() {
+        let mut m = HddModel::sas_10k(CAP);
+        // 64 KiB random reads scattered across the device.
+        let reqs: Vec<IoRequest> = (0..200u64)
+            .map(|i| read((i * 7_919_993) % (CAP - 16), 16))
+            .collect();
+        let mbps = throughput(&mut m, &reqs);
+        // The paper cites ~21 MB/s (§6.5); accept a generous band.
+        assert!((15.0..30.0).contains(&mbps), "64K random {mbps} MB/s");
+    }
+
+    #[test]
+    fn random_much_slower_than_sequential() {
+        let mut seq = HddModel::sas_10k(CAP);
+        let mut rnd = HddModel::sas_10k(CAP);
+        let seq_reqs: Vec<IoRequest> = (0..100).map(|i| read(i * 16, 16)).collect();
+        let rnd_reqs: Vec<IoRequest> = (0..100u64)
+            .map(|i| read((i * 104_729_123) % (CAP - 16), 16))
+            .collect();
+        let s = throughput(&mut seq, &seq_reqs);
+        let r = throughput(&mut rnd, &rnd_reqs);
+        assert!(s / r > 4.0, "seq {s} vs random {r}");
+    }
+
+    #[test]
+    fn seek_grows_with_distance() {
+        let m = HddModel::sas_10k(CAP);
+        let near = m.seek_time(BlockNr(0), BlockNr(1000));
+        let far = m.seek_time(BlockNr(0), BlockNr(CAP - 1));
+        assert!(far > near);
+        assert!(near >= m.seek_min);
+        assert_eq!(m.seek_time(BlockNr(5), BlockNr(5)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn with_params_overrides_apply() {
+        let mut slow = HddModel::with_params(
+            CAP,
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(20),
+            SimDuration::from_millis(5),
+            10.0e6,
+        );
+        let mut fast = HddModel::sas_10k(CAP);
+        let r = read(CAP / 2, 16);
+        assert!(slow.service_time(&r) > fast.service_time(&r));
+    }
+
+    #[test]
+    fn writes_and_reads_cost_the_same() {
+        let mut a = HddModel::sas_10k(CAP);
+        let mut b = HddModel::sas_10k(CAP);
+        let r = read(12345, 8);
+        let w = IoRequest::new(IoKind::Write, BlockNr(12345), 8, IoClass::Normal);
+        assert_eq!(a.service_time(&r), b.service_time(&w));
+    }
+}

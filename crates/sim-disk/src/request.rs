@@ -1,0 +1,84 @@
+//! I/O request types.
+
+use sim_core::{BlockNr, PAGE_SIZE};
+
+/// Direction of an I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoKind {
+    /// Transfer from device to memory.
+    Read,
+    /// Transfer from memory to device.
+    Write,
+}
+
+/// Scheduling class of a request.
+///
+/// Mirrors the two CFQ classes the paper uses (§6.1.3): foreground
+/// workload I/O runs at `Normal` (best-effort) priority, while in-kernel
+/// maintenance tasks issue their requests at `Idle` priority, "serviced
+/// only after the device has remained idle for some time".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoClass {
+    /// Foreground / best-effort I/O.
+    Normal,
+    /// Background maintenance I/O (CFQ idle class).
+    Idle,
+}
+
+/// A contiguous block-range I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoRequest {
+    /// Direction.
+    pub kind: IoKind,
+    /// First block.
+    pub start: BlockNr,
+    /// Number of blocks (must be > 0).
+    pub nblocks: u64,
+    /// Scheduling class.
+    pub class: IoClass,
+}
+
+impl IoRequest {
+    /// Creates a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nblocks` is zero.
+    pub fn new(kind: IoKind, start: BlockNr, nblocks: u64, class: IoClass) -> Self {
+        assert!(nblocks > 0, "zero-length I/O request");
+        IoRequest {
+            kind,
+            start,
+            nblocks,
+            class,
+        }
+    }
+
+    /// Request size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.nblocks * PAGE_SIZE
+    }
+
+    /// Block number one past the end of the request.
+    pub fn end(&self) -> BlockNr {
+        BlockNr(self.start.raw() + self.nblocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_geometry() {
+        let r = IoRequest::new(IoKind::Write, BlockNr(10), 4, IoClass::Idle);
+        assert_eq!(r.bytes(), 4 * PAGE_SIZE);
+        assert_eq!(r.end(), BlockNr(14));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_length_rejected() {
+        let _ = IoRequest::new(IoKind::Read, BlockNr(0), 0, IoClass::Normal);
+    }
+}

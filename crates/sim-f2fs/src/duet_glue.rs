@@ -1,0 +1,40 @@
+//! Duet introspection hooks for the F2fs model.
+
+use crate::fs::F2fsSim;
+use duet::FsIntrospect;
+use sim_cache::PageMeta;
+use sim_core::{BlockNr, DeviceId, InodeNr, PageIndex};
+
+impl FsIntrospect for F2fsSim {
+    fn device(&self) -> DeviceId {
+        F2fsSim::device(self)
+    }
+
+    fn is_under(&self, _ino: InodeNr, _dir: InodeNr) -> bool {
+        // The F2fs model has a flat namespace; everything is under the
+        // (implicit) root. Only block tasks run on it in the paper.
+        true
+    }
+
+    fn path_of(&self, _ino: InodeNr) -> Option<String> {
+        None
+    }
+
+    fn fibmap(&self, ino: InodeNr, index: PageIndex) -> Option<BlockNr> {
+        // The current node-table mapping: after a flush this is the new
+        // log block.
+        self.mapping_of(ino, index)
+    }
+
+    fn has_cached_pages(&self, ino: InodeNr) -> bool {
+        self.cache().pages_of(ino) > 0
+    }
+
+    fn cached_pages(&self) -> Vec<PageMeta> {
+        self.cache().iter().collect()
+    }
+
+    fn cached_pages_of(&self, ino: InodeNr) -> Vec<PageMeta> {
+        self.cache().pages_of_file(ino)
+    }
+}

@@ -1,0 +1,987 @@
+//! The log-structured filesystem: append-only writes, block
+//! invalidation, and segment cleaning.
+//!
+//! Semantics modelled on F2fs (§5.4 of the paper):
+//!
+//! - data is written out by *appending to the log*: dirty pages are
+//!   assigned fresh blocks at the log head when flushed, and the old
+//!   block copy is invalidated in its segment — the moment the paper's
+//!   Duet garbage collector observes through `Flushed` notifications;
+//! - the background cleaner picks a victim segment by a cost function,
+//!   synchronously reads its valid blocks (through the page cache — a
+//!   block that is already cached needs no read, which is the entire
+//!   Duet saving) and marks them dirty for asynchronous writeback;
+//! - when clean segments run out, the filesystem falls back to slab
+//!   reuse of invalid blocks in scattered segments (SSR), degrading
+//!   writes to random I/O — the latency cliff §6.2 mentions (57 %
+//!   latency increase).
+
+use crate::segment::{segment_of, segment_start, SegState, SegmentInfo};
+use sim_cache::{PageCache, PageKey, PageMeta};
+use sim_core::{
+    BlockNr,
+    DeviceId,
+    InodeNr,
+    PageIndex,
+    SegmentNr,
+    SimError,
+    SimInstant,
+    SimResult,
+    PAGE_SIZE, //
+};
+use sim_disk::{Disk, IoClass, IoKind, IoRequest};
+use std::collections::HashMap;
+
+/// I/O accounting for one operation (mirror of the Btrfs-side struct,
+/// kept separate so the crates stay independent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpStats {
+    /// Blocks read from the device.
+    pub blocks_read: u64,
+    /// Blocks written to the device.
+    pub blocks_written: u64,
+    /// Pages served from cache.
+    pub cache_hits: u64,
+    /// Completion time of the last request.
+    pub finish: SimInstant,
+}
+
+impl OpStats {
+    /// No-I/O stats completing at `now`.
+    pub fn none(now: SimInstant) -> Self {
+        OpStats {
+            blocks_read: 0,
+            blocks_written: 0,
+            cache_hits: 0,
+            finish: now,
+        }
+    }
+
+    /// Folds another operation's stats into this one.
+    pub fn merge(&mut self, other: &OpStats) {
+        self.blocks_read += other.blocks_read;
+        self.blocks_written += other.blocks_written;
+        self.cache_hits += other.cache_hits;
+        self.finish = self.finish.max(other.finish);
+    }
+}
+
+/// Result of cleaning one segment (Table 6's measured quantity).
+#[derive(Debug, Clone, Copy)]
+pub struct CleanResult {
+    /// The victim segment.
+    pub seg: SegmentNr,
+    /// Valid blocks that had to be migrated.
+    pub valid_blocks: u32,
+    /// Valid blocks already in the page cache (reads saved).
+    pub cached_blocks: u32,
+    /// Blocks read from the device.
+    pub blocks_read: u64,
+    /// Wall-clock (virtual) duration of the synchronous read phase —
+    /// the "segment cleaning time" of Table 6.
+    pub duration: sim_core::SimDuration,
+    /// When the read phase finished.
+    pub finish: SimInstant,
+}
+
+#[derive(Debug, Clone)]
+struct F2fsInode {
+    name: String,
+    size_bytes: u64,
+    /// Page index → current on-disk block.
+    map: Vec<Option<BlockNr>>,
+}
+
+const NO_OWNER: u64 = u64::MAX;
+
+/// The simulated log-structured filesystem.
+pub struct F2fsSim {
+    device: DeviceId,
+    disk: Disk,
+    cache: PageCache,
+    seg_blocks: u64,
+    nsegs: u32,
+    segs: Vec<SegmentInfo>,
+    /// Per-block validity.
+    valid: Vec<bool>,
+    /// Per-block owner (ino, page), NO_OWNER if invalid.
+    owner_ino: Vec<u64>,
+    owner_idx: Vec<u64>,
+    inodes: HashMap<InodeNr, F2fsInode>,
+    names: HashMap<String, InodeNr>,
+    next_ino: u64,
+    /// Log head: segment and next offset within it.
+    head_seg: SegmentNr,
+    head_off: u64,
+    /// Logical write counter (drives segment mtime/age).
+    write_clock: u64,
+    free_segs: u32,
+    /// Threshold of free segments below which SSR engages.
+    ssr_threshold: u32,
+}
+
+impl F2fsSim {
+    /// Creates a filesystem with `seg_blocks`-block segments on `disk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the disk capacity is not a positive multiple of
+    /// `seg_blocks`.
+    pub fn new(device: DeviceId, disk: Disk, cache_pages: usize, seg_blocks: u64) -> Self {
+        let capacity = disk.capacity_blocks();
+        assert!(
+            seg_blocks > 0 && capacity % seg_blocks == 0 && capacity > 0,
+            "capacity {capacity} must be a positive multiple of segment size {seg_blocks}"
+        );
+        let nsegs = (capacity / seg_blocks) as u32;
+        let mut fs = F2fsSim {
+            device,
+            disk,
+            cache: PageCache::new(cache_pages),
+            seg_blocks,
+            nsegs,
+            segs: vec![SegmentInfo::free(); nsegs as usize],
+            valid: vec![false; capacity as usize],
+            owner_ino: vec![NO_OWNER; capacity as usize],
+            owner_idx: vec![0; capacity as usize],
+            inodes: HashMap::new(),
+            names: HashMap::new(),
+            next_ino: 1,
+            head_seg: SegmentNr(0),
+            head_off: 0,
+            write_clock: 0,
+            free_segs: nsegs,
+            ssr_threshold: 4,
+        };
+        fs.segs[0].state = SegState::Open;
+        fs.free_segs -= 1;
+        fs
+    }
+
+    /// Device identifier.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// The underlying disk.
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    /// Mutable disk access.
+    pub fn disk_mut(&mut self) -> &mut Disk {
+        &mut self.disk
+    }
+
+    /// The page cache.
+    pub fn cache(&self) -> &PageCache {
+        &self.cache
+    }
+
+    /// Mutable page cache access (event draining).
+    pub fn cache_mut(&mut self) -> &mut PageCache {
+        &mut self.cache
+    }
+
+    /// Blocks per segment.
+    pub fn seg_blocks(&self) -> u64 {
+        self.seg_blocks
+    }
+
+    /// Total segments.
+    pub fn nsegs(&self) -> u32 {
+        self.nsegs
+    }
+
+    /// Segment info.
+    pub fn segment(&self, seg: SegmentNr) -> &SegmentInfo {
+        &self.segs[seg.raw() as usize]
+    }
+
+    /// Number of free segments.
+    pub fn free_segments(&self) -> u32 {
+        self.free_segs
+    }
+
+    /// Logical write clock (for age-based victim policies).
+    pub fn write_clock(&self) -> u64 {
+        self.write_clock
+    }
+
+    /// Returns `true` when clean segments are nearly exhausted and the
+    /// filesystem would resort to slack-space reuse (SSR).
+    pub fn is_ssr(&self) -> bool {
+        self.free_segs <= self.ssr_threshold
+    }
+
+    /// The segment a block lives in.
+    pub fn segment_of_block(&self, b: BlockNr) -> SegmentNr {
+        segment_of(b, self.seg_blocks)
+    }
+
+    /// Whether a block holds live data.
+    pub fn is_valid(&self, b: BlockNr) -> bool {
+        self.valid[b.raw() as usize]
+    }
+
+    /// The file page a valid block backs.
+    pub fn owner_of(&self, b: BlockNr) -> Option<(InodeNr, PageIndex)> {
+        let i = b.raw() as usize;
+        if self.owner_ino[i] == NO_OWNER {
+            None
+        } else {
+            Some((InodeNr(self.owner_ino[i]), PageIndex(self.owner_idx[i])))
+        }
+    }
+
+    /// Valid blocks of a segment with their owners.
+    pub fn valid_blocks_of(&self, seg: SegmentNr) -> Vec<(BlockNr, InodeNr, PageIndex)> {
+        let start = segment_start(seg, self.seg_blocks).raw();
+        (start..start + self.seg_blocks)
+            .filter(|&b| self.valid[b as usize])
+            .map(|b| {
+                let (ino, idx) = self
+                    .owner_of(BlockNr(b))
+                    .expect("valid block without owner");
+                (BlockNr(b), ino, idx)
+            })
+            .collect()
+    }
+
+    /// Counts a segment's valid blocks that are currently in the page
+    /// cache (a ground-truth query; the Duet GC tracks an approximation
+    /// of this from events).
+    pub fn cached_valid_blocks(&self, seg: SegmentNr) -> u32 {
+        self.valid_blocks_of(seg)
+            .iter()
+            .filter(|(_, ino, idx)| self.cache.contains(PageKey::new(*ino, *idx)))
+            .count() as u32
+    }
+
+    // ----- namespace ------------------------------------------------------
+
+    /// Creates an empty file.
+    pub fn create_file(&mut self, name: &str) -> SimResult<InodeNr> {
+        if self.names.contains_key(name) {
+            return Err(SimError::AlreadyExists(name.to_string()));
+        }
+        let ino = InodeNr(self.next_ino);
+        self.next_ino += 1;
+        self.inodes.insert(
+            ino,
+            F2fsInode {
+                name: name.to_string(),
+                size_bytes: 0,
+                map: Vec::new(),
+            },
+        );
+        self.names.insert(name.to_string(), ino);
+        Ok(ino)
+    }
+
+    /// Looks a file up by name.
+    pub fn lookup(&self, name: &str) -> Option<InodeNr> {
+        self.names.get(name).copied()
+    }
+
+    /// File size in bytes.
+    pub fn size_of(&self, ino: InodeNr) -> SimResult<u64> {
+        Ok(self.get(ino)?.size_bytes)
+    }
+
+    /// Returns `true` if the file exists.
+    pub fn exists(&self, ino: InodeNr) -> bool {
+        self.inodes.contains_key(&ino)
+    }
+
+    /// Current on-disk block of a file page (the F2fs node-table
+    /// mapping), or `None` for holes, unflushed new pages and missing
+    /// files.
+    pub fn mapping_of(&self, ino: InodeNr, index: PageIndex) -> Option<BlockNr> {
+        self.inodes
+            .get(&ino)
+            .and_then(|n| n.map.get(index.raw() as usize).copied().flatten())
+    }
+
+    /// All file inodes.
+    pub fn files(&self) -> Vec<InodeNr> {
+        let mut v: Vec<InodeNr> = self.inodes.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn get(&self, ino: InodeNr) -> SimResult<&F2fsInode> {
+        self.inodes.get(&ino).ok_or(SimError::NoSuchInode(ino))
+    }
+
+    fn get_mut(&mut self, ino: InodeNr) -> SimResult<&mut F2fsInode> {
+        self.inodes.get_mut(&ino).ok_or(SimError::NoSuchInode(ino))
+    }
+
+    /// Deletes a file: all its blocks become invalid; cached pages are
+    /// dropped.
+    pub fn delete_file(&mut self, ino: InodeNr) -> SimResult<()> {
+        let node = self.inodes.remove(&ino).ok_or(SimError::NoSuchInode(ino))?;
+        self.names.remove(&node.name);
+        self.cache.remove_file(ino);
+        for b in node.map.into_iter().flatten() {
+            self.invalidate(b);
+        }
+        Ok(())
+    }
+
+    // ----- log allocation ---------------------------------------------------
+
+    fn invalidate(&mut self, b: BlockNr) {
+        let i = b.raw() as usize;
+        if !self.valid[i] {
+            return;
+        }
+        self.valid[i] = false;
+        self.owner_ino[i] = NO_OWNER;
+        let seg = segment_of(b, self.seg_blocks);
+        let s = &mut self.segs[seg.raw() as usize];
+        debug_assert!(s.valid > 0, "segment valid-count underflow");
+        s.valid -= 1;
+        if s.valid == 0 && s.state == SegState::Full {
+            s.state = SegState::Free;
+            self.free_segs += 1;
+        }
+    }
+
+    fn mark_valid(&mut self, b: BlockNr, ino: InodeNr, idx: PageIndex) {
+        let i = b.raw() as usize;
+        debug_assert!(!self.valid[i], "double-validate at {b}");
+        self.valid[i] = true;
+        self.owner_ino[i] = ino.raw();
+        self.owner_idx[i] = idx.raw();
+        let seg = segment_of(b, self.seg_blocks);
+        self.write_clock += 1;
+        let s = &mut self.segs[seg.raw() as usize];
+        s.valid += 1;
+        s.mtime = self.write_clock;
+    }
+
+    /// Allocates the next log block, switching to a new free segment (or
+    /// an SSR slot) as needed. Returns the block and whether it was an
+    /// SSR (random, non-append) allocation.
+    fn log_alloc(&mut self) -> SimResult<(BlockNr, bool)> {
+        if self.head_off < self.seg_blocks {
+            let b = segment_start(self.head_seg, self.seg_blocks).offset(self.head_off);
+            // Skip still-valid blocks when the head segment was obtained
+            // through SSR (partially valid).
+            if !self.valid[b.raw() as usize] {
+                self.head_off += 1;
+                return Ok((b, false));
+            }
+            self.head_off += 1;
+            return self.log_alloc();
+        }
+        // Segment exhausted.
+        self.segs[self.head_seg.raw() as usize].state = SegState::Full;
+        // Prefer a free segment.
+        if let Some(free) = self.segs.iter().position(|s| s.state == SegState::Free) {
+            self.head_seg = SegmentNr(free as u32);
+            self.head_off = 0;
+            self.segs[free].state = SegState::Open;
+            self.free_segs -= 1;
+            return self.log_alloc();
+        }
+        // SSR: reuse invalid slots of the fullest-but-not-full segment.
+        if let Some(victim) = self
+            .segs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state == SegState::Full && (s.valid as u64) < self.seg_blocks)
+            .min_by_key(|(_, s)| s.valid)
+            .map(|(i, _)| i)
+        {
+            self.segs[victim].state = SegState::Open;
+            self.head_seg = SegmentNr(victim as u32);
+            self.head_off = 0;
+            // Find the first invalid slot from here.
+            return self.log_alloc_ssr();
+        }
+        Err(SimError::NoSpace)
+    }
+
+    fn log_alloc_ssr(&mut self) -> SimResult<(BlockNr, bool)> {
+        let start = segment_start(self.head_seg, self.seg_blocks).raw();
+        while self.head_off < self.seg_blocks {
+            let b = BlockNr(start + self.head_off);
+            self.head_off += 1;
+            if !self.valid[b.raw() as usize] {
+                return Ok((b, true));
+            }
+        }
+        // Exhausted this SSR segment; recurse to pick another.
+        self.segs[self.head_seg.raw() as usize].state = SegState::Full;
+        self.log_alloc()
+    }
+
+    /// Migrates a flushed page to the log: allocates a new block,
+    /// invalidates the old copy, updates the mapping and returns the new
+    /// block plus whether SSR was used.
+    fn flush_page(&mut self, ino: InodeNr, idx: PageIndex) -> SimResult<(BlockNr, bool)> {
+        let (new_block, ssr) = self.log_alloc()?;
+        let old = {
+            let node = self.get_mut(ino)?;
+            let i = idx.raw() as usize;
+            if node.map.len() <= i {
+                node.map.resize(i + 1, None);
+            }
+            std::mem::replace(&mut node.map[i], Some(new_block))
+        };
+        if let Some(old_b) = old {
+            self.invalidate(old_b);
+        }
+        self.mark_valid(new_block, ino, idx);
+        self.cache.set_block(PageKey::new(ino, idx), new_block);
+        Ok((new_block, ssr))
+    }
+
+    fn write_out(
+        &mut self,
+        pages: Vec<PageMeta>,
+        class: IoClass,
+        now: SimInstant,
+        stats: &mut OpStats,
+    ) -> SimResult<()> {
+        // Allocate log blocks for every flushed page, then issue the
+        // writes coalesced (log appends are contiguous).
+        let mut blocks: Vec<BlockNr> = Vec::with_capacity(pages.len());
+        for m in pages {
+            // Pages of deleted files may still drain from the cache.
+            if !self.inodes.contains_key(&m.key.ino) {
+                continue;
+            }
+            let (b, _ssr) = self.flush_page(m.key.ino, m.key.index)?;
+            blocks.push(b);
+        }
+        if blocks.is_empty() {
+            return Ok(());
+        }
+        blocks.sort_unstable();
+        let mut run_start = blocks[0];
+        let mut run_len = 1u64;
+        let submit = |fs: &mut Self, start: BlockNr, len: u64, stats: &mut OpStats| {
+            let req = IoRequest::new(IoKind::Write, start, len, class);
+            let finish = fs.disk.submit(&req, now);
+            stats.blocks_written += len;
+            stats.finish = stats.finish.max(finish);
+        };
+        for &b in &blocks[1..] {
+            if b.raw() == run_start.raw() + run_len {
+                run_len += 1;
+            } else {
+                submit(self, run_start, run_len, stats);
+                run_start = b;
+                run_len = 1;
+            }
+        }
+        submit(self, run_start, run_len, stats);
+        Ok(())
+    }
+
+    // ----- data path -----------------------------------------------------
+
+    /// Reads through the page cache; misses are read from the device.
+    pub fn read(
+        &mut self,
+        ino: InodeNr,
+        offset: u64,
+        len_bytes: u64,
+        class: IoClass,
+        now: SimInstant,
+    ) -> SimResult<OpStats> {
+        let mut stats = OpStats::none(now);
+        if len_bytes == 0 {
+            return Ok(stats);
+        }
+        let size = self.get(ino)?.size_bytes;
+        let p0 = offset / PAGE_SIZE;
+        let p1 = ((offset + len_bytes).div_ceil(PAGE_SIZE)).min(size.div_ceil(PAGE_SIZE));
+        let mut missing: Vec<(PageIndex, BlockNr)> = Vec::new();
+        for p in p0..p1 {
+            let idx = PageIndex(p);
+            if self.cache.lookup(PageKey::new(ino, idx)).is_some() {
+                stats.cache_hits += 1;
+            } else if let Some(b) = self.get(ino)?.map.get(p as usize).copied().flatten() {
+                missing.push((idx, b));
+            }
+        }
+        if missing.is_empty() {
+            return Ok(stats);
+        }
+        let mut blocks: Vec<BlockNr> = missing.iter().map(|(_, b)| *b).collect();
+        blocks.sort_unstable();
+        let mut i = 0;
+        while i < blocks.len() {
+            let start = blocks[i];
+            let mut len = 1u64;
+            while i + 1 < blocks.len() && blocks[i + 1].raw() == start.raw() + len {
+                len += 1;
+                i += 1;
+            }
+            let req = IoRequest::new(IoKind::Read, start, len, class);
+            let finish = self.disk.submit(&req, now);
+            stats.blocks_read += len;
+            stats.finish = stats.finish.max(finish);
+            i += 1;
+        }
+        let mut evicted_all = Vec::new();
+        for (idx, b) in missing {
+            let ev = self.cache.insert(PageKey::new(ino, idx), Some(b), false);
+            evicted_all.extend(ev);
+        }
+        let dirty: Vec<PageMeta> = evicted_all.into_iter().filter(|m| m.dirty).collect();
+        self.write_out(dirty, class, now, &mut stats)?;
+        Ok(stats)
+    }
+
+    /// Writes into the cache; blocks are assigned at flush time (the
+    /// log-structured delayed allocation). Old on-disk copies stay valid
+    /// until the new data is flushed.
+    pub fn write(
+        &mut self,
+        ino: InodeNr,
+        offset: u64,
+        len_bytes: u64,
+        class: IoClass,
+        now: SimInstant,
+    ) -> SimResult<OpStats> {
+        let mut stats = OpStats::none(now);
+        if len_bytes == 0 {
+            return Ok(stats);
+        }
+        let p0 = offset / PAGE_SIZE;
+        let p1 = (offset + len_bytes).div_ceil(PAGE_SIZE);
+        {
+            let node = self.get_mut(ino)?;
+            node.size_bytes = node.size_bytes.max(offset + len_bytes);
+        }
+        let mut evicted_all = Vec::new();
+        for p in p0..p1 {
+            let idx = PageIndex(p);
+            let current = self.get(ino)?.map.get(p as usize).copied().flatten();
+            let ev = self.cache.insert(PageKey::new(ino, idx), current, true);
+            evicted_all.extend(ev);
+        }
+        let dirty: Vec<PageMeta> = evicted_all.into_iter().filter(|m| m.dirty).collect();
+        self.write_out(dirty, class, now, &mut stats)?;
+        Ok(stats)
+    }
+
+    /// Appends to the end of the file.
+    pub fn append(
+        &mut self,
+        ino: InodeNr,
+        len_bytes: u64,
+        class: IoClass,
+        now: SimInstant,
+    ) -> SimResult<OpStats> {
+        let size = self.get(ino)?.size_bytes;
+        let offset = size.next_multiple_of(PAGE_SIZE).max(size);
+        self.write(ino, offset, len_bytes, class, now)
+    }
+
+    /// Background writeback of up to `max_pages` dirty pages: each is
+    /// appended to the log (invalidating its old block) and written out.
+    pub fn background_writeback(
+        &mut self,
+        max_pages: usize,
+        class: IoClass,
+        now: SimInstant,
+    ) -> SimResult<OpStats> {
+        let mut stats = OpStats::none(now);
+        let flushed = self.cache.writeback_batch(max_pages);
+        self.write_out(flushed, class, now, &mut stats)?;
+        Ok(stats)
+    }
+
+    /// Number of dirty pages in the cache.
+    pub fn dirty_pages(&self) -> usize {
+        self.cache.iter().filter(|m| m.dirty).count()
+    }
+
+    // ----- population -----------------------------------------------------
+
+    /// Creates a file whose data is already in the log, without charging
+    /// I/O (experiment setup).
+    pub fn populate_file(&mut self, name: &str, size_bytes: u64) -> SimResult<InodeNr> {
+        let ino = self.create_file(name)?;
+        let npages = sim_core::ids::pages_for_bytes(size_bytes);
+        for p in 0..npages {
+            let (b, _) = self.log_alloc()?;
+            let node = self.get_mut(ino)?;
+            let i = p as usize;
+            if node.map.len() <= i {
+                node.map.resize(i + 1, None);
+            }
+            node.map[i] = Some(b);
+            self.mark_valid(b, ino, PageIndex(p));
+        }
+        self.get_mut(ino)?.size_bytes = size_bytes;
+        Ok(ino)
+    }
+
+    // ----- cleaning -------------------------------------------------------
+
+    /// Cleans one segment: synchronously reads its valid blocks (cached
+    /// blocks need no read — the Duet saving) and marks them dirty for
+    /// asynchronous migration to the log. The segment becomes free once
+    /// the dirty pages are written back.
+    pub fn clean_segment(
+        &mut self,
+        seg: SegmentNr,
+        class: IoClass,
+        now: SimInstant,
+    ) -> SimResult<CleanResult> {
+        let victims = self.valid_blocks_of(seg);
+        let valid_blocks = victims.len() as u32;
+        let mut cached_blocks = 0u32;
+        let mut to_read: Vec<(BlockNr, InodeNr, PageIndex)> = Vec::new();
+        for (b, ino, idx) in &victims {
+            if self.cache.contains(PageKey::new(*ino, *idx)) {
+                cached_blocks += 1;
+            } else {
+                to_read.push((*b, *ino, *idx));
+            }
+        }
+        let mut stats = OpStats::none(now);
+        // Synchronous read phase (coalesced: victims are block-sorted).
+        let mut i = 0;
+        while i < to_read.len() {
+            let start = to_read[i].0;
+            let mut len = 1u64;
+            while i + 1 < to_read.len() && to_read[i + 1].0.raw() == start.raw() + len {
+                len += 1;
+                i += 1;
+            }
+            let req = IoRequest::new(IoKind::Read, start, len, class);
+            let finish = self.disk.submit(&req, now);
+            stats.blocks_read += len;
+            stats.finish = stats.finish.max(finish);
+            i += 1;
+        }
+        // Mark every valid block dirty in memory for migration.
+        let mut evicted_all = Vec::new();
+        for (b, ino, idx) in &victims {
+            let key = PageKey::new(*ino, *idx);
+            let ev = self.cache.insert(key, Some(*b), true);
+            evicted_all.extend(ev);
+        }
+        let dirty: Vec<PageMeta> = evicted_all.into_iter().filter(|m| m.dirty).collect();
+        self.write_out(dirty, class, now, &mut stats)?;
+        Ok(CleanResult {
+            seg,
+            valid_blocks,
+            cached_blocks,
+            blocks_read: stats.blocks_read,
+            duration: stats.finish.saturating_duration_since(now),
+            finish: stats.finish,
+        })
+    }
+
+    /// Full-filesystem consistency check (fsck): verifies that
+    ///
+    /// - every inode mapping points at a valid block owned by exactly
+    ///   that (inode, page);
+    /// - every valid block is owned by a live mapping (no orphans);
+    /// - per-segment valid counts equal the number of valid blocks in
+    ///   the segment;
+    /// - the free-segment counter matches the segment states.
+    ///
+    /// Intended for tests and debugging; cost is O(device).
+    pub fn check_consistency(&self) -> SimResult<()> {
+        let fail = |why: String| Err(SimError::InvalidArgument(format!("f2fs fsck: {why}")));
+        let capacity = self.valid.len() as u64;
+        // Mappings → blocks, each claimed exactly once with a matching
+        // owner record.
+        let mut claimed = vec![false; capacity as usize];
+        for (&ino, node) in &self.inodes {
+            for (p, slot) in node.map.iter().enumerate() {
+                let Some(b) = slot else { continue };
+                let i = b.raw() as usize;
+                if claimed[i] {
+                    return fail(format!("block {b} mapped twice"));
+                }
+                claimed[i] = true;
+                if !self.valid[i] {
+                    return fail(format!("mapped block {b} is invalid"));
+                }
+                match self.owner_of(*b) {
+                    Some((o_ino, o_idx)) if o_ino == ino && o_idx.raw() == p as u64 => {}
+                    other => {
+                        return fail(format!("block {b}: owner {other:?} != ({ino}, pg {p})"));
+                    }
+                }
+            }
+        }
+        // No orphan valid blocks; segment counters agree.
+        let mut free_count = 0u32;
+        for seg in 0..self.nsegs {
+            let start = (seg as u64) * self.seg_blocks;
+            let mut valid_here = 0u32;
+            for b in start..start + self.seg_blocks {
+                let i = b as usize;
+                if self.valid[i] {
+                    valid_here += 1;
+                    if !claimed[i] {
+                        return fail(format!("valid block blk#{b} has no mapping"));
+                    }
+                }
+            }
+            let info = &self.segs[seg as usize];
+            if info.valid != valid_here {
+                return fail(format!(
+                    "seg#{seg}: SIT says {} valid, counted {valid_here}",
+                    info.valid
+                ));
+            }
+            if info.state == SegState::Free {
+                free_count += 1;
+                if valid_here != 0 {
+                    return fail(format!("seg#{seg} free but holds valid blocks"));
+                }
+            }
+        }
+        if free_count != self.free_segs {
+            return fail(format!(
+                "free-segment counter {} vs counted {free_count}",
+                self.free_segs
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::VictimPolicy;
+
+    const T0: SimInstant = SimInstant::EPOCH;
+    const NORMAL: IoClass = IoClass::Normal;
+    const IDLE: IoClass = IoClass::Idle;
+
+    fn make_fs(nsegs: u32, seg_blocks: u64, cache_pages: usize) -> F2fsSim {
+        let disk = sim_disk::Disk::new(Box::new(sim_disk::HddModel::sas_10k(
+            nsegs as u64 * seg_blocks,
+        )));
+        F2fsSim::new(DeviceId(1), disk, cache_pages, seg_blocks)
+    }
+
+    fn pb(n: u64) -> u64 {
+        n * PAGE_SIZE
+    }
+
+    #[test]
+    fn populate_appends_to_log() {
+        let mut fs = make_fs(8, 16, 64);
+        let ino = fs.populate_file("a", pb(10)).unwrap();
+        assert_eq!(fs.size_of(ino).unwrap(), pb(10));
+        assert_eq!(fs.segment(SegmentNr(0)).valid, 10);
+        assert_eq!(fs.disk().metrics().total_blocks(), 0);
+        // Blocks are contiguous from the log start.
+        for p in 0..10 {
+            let (o_ino, o_idx) = fs.owner_of(BlockNr(p)).unwrap();
+            assert_eq!(o_ino, ino);
+            assert_eq!(o_idx, PageIndex(p));
+        }
+    }
+
+    #[test]
+    fn overwrite_invalidates_only_on_flush() {
+        let mut fs = make_fs(8, 16, 64);
+        let ino = fs.populate_file("a", pb(4)).unwrap();
+        fs.write(ino, 0, PAGE_SIZE, NORMAL, T0).unwrap();
+        // Still valid: the dirty page has not been flushed.
+        assert!(fs.is_valid(BlockNr(0)));
+        assert_eq!(fs.dirty_pages(), 1);
+        let s = fs.background_writeback(16, NORMAL, T0).unwrap();
+        assert_eq!(s.blocks_written, 1);
+        // Old copy invalid, new block appended at the log head.
+        assert!(!fs.is_valid(BlockNr(0)));
+        assert_eq!(fs.segment(SegmentNr(0)).valid, 4, "3 old + 1 new in seg 0");
+        assert_eq!(fs.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn log_advances_across_segments() {
+        let mut fs = make_fs(8, 4, 64);
+        let free0 = fs.free_segments();
+        fs.populate_file("a", pb(10)).unwrap();
+        // 10 blocks over 4-block segments: head in third segment.
+        assert_eq!(fs.segment(SegmentNr(0)).valid, 4);
+        assert_eq!(fs.segment(SegmentNr(1)).valid, 4);
+        assert_eq!(fs.segment(SegmentNr(2)).valid, 2);
+        assert!(fs.free_segments() < free0);
+    }
+
+    #[test]
+    fn delete_invalidates_and_frees_segments() {
+        let mut fs = make_fs(8, 4, 64);
+        let a = fs.populate_file("a", pb(8)).unwrap();
+        fs.populate_file("b", pb(2)).unwrap();
+        fs.delete_file(a).unwrap();
+        assert_eq!(fs.segment(SegmentNr(0)).valid, 0);
+        assert_eq!(fs.segment(SegmentNr(0)).state, SegState::Free);
+        assert_eq!(fs.segment(SegmentNr(1)).state, SegState::Free);
+        assert!(fs.lookup("a").is_none());
+        assert!(fs.lookup("b").is_some());
+    }
+
+    #[test]
+    fn read_hits_and_misses() {
+        let mut fs = make_fs(8, 16, 64);
+        let ino = fs.populate_file("a", pb(6)).unwrap();
+        let s1 = fs.read(ino, 0, pb(6), NORMAL, T0).unwrap();
+        assert_eq!(s1.blocks_read, 6);
+        let s2 = fs.read(ino, 0, pb(6), NORMAL, s1.finish).unwrap();
+        assert_eq!(s2.blocks_read, 0);
+        assert_eq!(s2.cache_hits, 6);
+    }
+
+    #[test]
+    fn clean_segment_reads_only_uncached() {
+        let mut fs = make_fs(8, 8, 64);
+        let ino = fs.populate_file("a", pb(8)).unwrap();
+        // Segment 0 fully valid. Cache half of it.
+        fs.read(ino, 0, pb(4), NORMAL, T0).unwrap();
+        let r = fs.clean_segment(SegmentNr(0), IDLE, T0).unwrap();
+        assert_eq!(r.valid_blocks, 8);
+        assert_eq!(r.cached_blocks, 4);
+        assert_eq!(r.blocks_read, 4, "cached blocks saved reads");
+        assert!(r.duration > sim_core::SimDuration::ZERO);
+        // All 8 pages are now dirty, awaiting migration.
+        assert_eq!(fs.dirty_pages(), 8);
+        // Migrate them: segment 0 drains and becomes free.
+        fs.background_writeback(64, IDLE, T0).unwrap();
+        assert_eq!(fs.segment(SegmentNr(0)).valid, 0);
+        assert_eq!(fs.segment(SegmentNr(0)).state, SegState::Free);
+        // Data still readable.
+        let s = fs.read(ino, 0, pb(8), NORMAL, T0).unwrap();
+        assert_eq!(s.blocks_read + s.cache_hits, 8);
+    }
+
+    #[test]
+    fn cached_valid_blocks_ground_truth() {
+        let mut fs = make_fs(8, 8, 64);
+        let ino = fs.populate_file("a", pb(8)).unwrap();
+        assert_eq!(fs.cached_valid_blocks(SegmentNr(0)), 0);
+        fs.read(ino, 0, pb(3), NORMAL, T0).unwrap();
+        assert_eq!(fs.cached_valid_blocks(SegmentNr(0)), 3);
+    }
+
+    #[test]
+    fn ssr_engages_when_no_free_segments() {
+        // 4 segments of 4 blocks, tiny cache to force flushes.
+        let mut fs = make_fs(4, 4, 8);
+        fs.ssr_threshold = 0;
+        let ino = fs.populate_file("a", pb(12)).unwrap(); // 3 segments
+                                                          // Overwrite single pages repeatedly, forcing flushes into the
+                                                          // remaining space and then SSR reuse.
+        for round in 0..6 {
+            fs.write(ino, (round % 12) * PAGE_SIZE, PAGE_SIZE, NORMAL, T0)
+                .unwrap();
+            fs.background_writeback(16, NORMAL, T0).unwrap();
+        }
+        // The filesystem survived (no NoSpace): SSR reused invalid slots.
+        let total_valid: u32 = (0..4).map(|s| fs.segment(SegmentNr(s)).valid).sum();
+        assert_eq!(
+            total_valid, 12,
+            "every live page has exactly one valid block"
+        );
+    }
+
+    #[test]
+    fn victim_selection_prefers_invalid_heavy_segments() {
+        let mut fs = make_fs(8, 8, 64);
+        let a = fs.populate_file("a", pb(8)).unwrap(); // seg 0
+        fs.populate_file("b", pb(8)).unwrap(); // seg 1
+                                               // Invalidate most of segment 0 by overwriting file a.
+        fs.write(a, 0, pb(6), NORMAL, T0).unwrap();
+        fs.background_writeback(64, NORMAL, T0).unwrap();
+        assert_eq!(fs.segment(SegmentNr(0)).valid, 2);
+        // Greedy cost: segment 0 is the cheapest FULL segment.
+        let costs: Vec<(u32, f64)> = (0..fs.nsegs())
+            .filter(|&s| fs.segment(SegmentNr(s)).state == SegState::Full)
+            .map(|s| {
+                (
+                    s,
+                    crate::segment::cleaning_cost(
+                        VictimPolicy::Greedy,
+                        fs.segment(SegmentNr(s)),
+                        fs.seg_blocks() as u32,
+                        0,
+                        fs.write_clock(),
+                    ),
+                )
+            })
+            .collect();
+        let best = costs
+            .iter()
+            .min_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
+            .unwrap();
+        assert_eq!(best.0, 0);
+    }
+
+    #[test]
+    fn fsck_holds_across_log_lifecycle() {
+        let mut fs = make_fs(8, 8, 32);
+        fs.check_consistency().unwrap();
+        let a = fs.populate_file("a", pb(8)).unwrap();
+        let b = fs.populate_file("b", pb(8)).unwrap();
+        fs.check_consistency().unwrap();
+        // Overwrites + flush (log migration).
+        fs.write(a, 0, pb(4), NORMAL, T0).unwrap();
+        fs.check_consistency().unwrap();
+        fs.background_writeback(64, NORMAL, T0).unwrap();
+        fs.check_consistency().unwrap();
+        // Cleaning.
+        let victim = (0..fs.nsegs())
+            .map(SegmentNr)
+            .find(|&s| fs.segment(s).state == SegState::Full && fs.segment(s).valid > 0)
+            .expect("a full segment exists");
+        fs.clean_segment(victim, IDLE, T0).unwrap();
+        fs.background_writeback(64, IDLE, T0).unwrap();
+        fs.check_consistency().unwrap();
+        // Deletion.
+        fs.delete_file(b).unwrap();
+        fs.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut fs = make_fs(4, 4, 8);
+        fs.create_file("x").unwrap();
+        assert!(matches!(
+            fs.create_file("x"),
+            Err(SimError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn flush_emits_events_with_old_block() {
+        let mut fs = make_fs(8, 8, 64);
+        let ino = fs.populate_file("a", pb(2)).unwrap();
+        fs.write(ino, 0, PAGE_SIZE, NORMAL, T0).unwrap();
+        fs.cache_mut().drain_events();
+        fs.background_writeback(16, NORMAL, T0).unwrap();
+        let evs = fs.cache_mut().drain_events();
+        let flushed: Vec<_> = evs
+            .iter()
+            .filter(|(_, e)| *e == sim_cache::PageEvent::Flushed)
+            .collect();
+        assert_eq!(flushed.len(), 1);
+        // The event metadata carries the block as of flush time (the old
+        // location); the mapping now points at the new log block.
+        assert_eq!(flushed[0].0.block, Some(BlockNr(0)));
+        let node_block = {
+            let key = PageKey::new(ino, PageIndex(0));
+            fs.cache().peek(key).unwrap().block.unwrap()
+        };
+        assert_ne!(node_block, BlockNr(0));
+    }
+}

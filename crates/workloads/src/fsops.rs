@@ -1,0 +1,171 @@
+//! The filesystem operations a workload needs, abstracted over the two
+//! simulated filesystems.
+//!
+//! Figures 2–8 and Table 5 run the Filebench personalities on the Btrfs
+//! model; Table 6 runs the fileserver personality on the F2fs model.
+//! This trait lets one workload implementation drive both.
+
+use sim_core::{InodeNr, SimDuration, SimInstant, SimResult};
+use sim_disk::IoClass;
+
+/// Filesystem operations used by the workload generator. All data ops
+/// run at `Normal` (foreground) I/O priority.
+pub trait WorkloadFs {
+    /// Reads `len` bytes at `offset`, returning the completion time.
+    fn wl_read(
+        &mut self,
+        ino: InodeNr,
+        offset: u64,
+        len: u64,
+        now: SimInstant,
+    ) -> SimResult<SimInstant>;
+
+    /// Overwrites `len` bytes at `offset`.
+    fn wl_write(
+        &mut self,
+        ino: InodeNr,
+        offset: u64,
+        len: u64,
+        now: SimInstant,
+    ) -> SimResult<SimInstant>;
+
+    /// Appends `len` bytes.
+    fn wl_append(&mut self, ino: InodeNr, len: u64, now: SimInstant) -> SimResult<SimInstant>;
+
+    /// Deletes a file.
+    fn wl_delete(&mut self, ino: InodeNr) -> SimResult<()>;
+
+    /// Creates an empty file with a unique `name`.
+    fn wl_create(&mut self, name: &str) -> SimResult<InodeNr>;
+
+    /// Creates a file with `size` bytes already on disk (setup only; no
+    /// I/O is charged).
+    fn wl_populate(&mut self, name: &str, size: u64) -> SimResult<InodeNr>;
+
+    /// File size in bytes.
+    fn wl_size(&self, ino: InodeNr) -> SimResult<u64>;
+
+    /// Flushes up to `max_pages` dirty pages (the background flusher).
+    fn wl_writeback(&mut self, max_pages: usize, now: SimInstant) -> SimResult<SimInstant>;
+
+    /// Number of dirty pages awaiting writeback.
+    fn wl_dirty_pages(&self) -> usize;
+
+    /// Total foreground (Normal-class) device busy time so far — the
+    /// numerator of the `%util` statistic (§6.1.2).
+    fn foreground_busy(&self) -> SimDuration;
+}
+
+impl WorkloadFs for sim_btrfs::BtrfsSim {
+    fn wl_read(
+        &mut self,
+        ino: InodeNr,
+        offset: u64,
+        len: u64,
+        now: SimInstant,
+    ) -> SimResult<SimInstant> {
+        Ok(self.read(ino, offset, len, IoClass::Normal, now)?.finish)
+    }
+
+    fn wl_write(
+        &mut self,
+        ino: InodeNr,
+        offset: u64,
+        len: u64,
+        now: SimInstant,
+    ) -> SimResult<SimInstant> {
+        Ok(self.write(ino, offset, len, IoClass::Normal, now)?.finish)
+    }
+
+    fn wl_append(&mut self, ino: InodeNr, len: u64, now: SimInstant) -> SimResult<SimInstant> {
+        Ok(self.append(ino, len, IoClass::Normal, now)?.finish)
+    }
+
+    fn wl_delete(&mut self, ino: InodeNr) -> SimResult<()> {
+        self.delete_file(ino)
+    }
+
+    fn wl_create(&mut self, name: &str) -> SimResult<InodeNr> {
+        let root = self.root();
+        self.create_file(root, name)
+    }
+
+    fn wl_populate(&mut self, name: &str, size: u64) -> SimResult<InodeNr> {
+        let root = self.root();
+        self.populate_file(root, name, size)
+    }
+
+    fn wl_size(&self, ino: InodeNr) -> SimResult<u64> {
+        Ok(self.inodes().get(ino)?.size_bytes)
+    }
+
+    fn wl_writeback(&mut self, max_pages: usize, now: SimInstant) -> SimResult<SimInstant> {
+        Ok(self
+            .background_writeback(max_pages, IoClass::Normal, now)?
+            .finish)
+    }
+
+    fn wl_dirty_pages(&self) -> usize {
+        self.dirty_pages()
+    }
+
+    fn foreground_busy(&self) -> SimDuration {
+        self.disk().metrics().normal.busy_time
+    }
+}
+
+impl WorkloadFs for sim_f2fs::F2fsSim {
+    fn wl_read(
+        &mut self,
+        ino: InodeNr,
+        offset: u64,
+        len: u64,
+        now: SimInstant,
+    ) -> SimResult<SimInstant> {
+        Ok(self.read(ino, offset, len, IoClass::Normal, now)?.finish)
+    }
+
+    fn wl_write(
+        &mut self,
+        ino: InodeNr,
+        offset: u64,
+        len: u64,
+        now: SimInstant,
+    ) -> SimResult<SimInstant> {
+        Ok(self.write(ino, offset, len, IoClass::Normal, now)?.finish)
+    }
+
+    fn wl_append(&mut self, ino: InodeNr, len: u64, now: SimInstant) -> SimResult<SimInstant> {
+        Ok(self.append(ino, len, IoClass::Normal, now)?.finish)
+    }
+
+    fn wl_delete(&mut self, ino: InodeNr) -> SimResult<()> {
+        self.delete_file(ino)
+    }
+
+    fn wl_create(&mut self, name: &str) -> SimResult<InodeNr> {
+        self.create_file(name)
+    }
+
+    fn wl_populate(&mut self, name: &str, size: u64) -> SimResult<InodeNr> {
+        self.populate_file(name, size)
+    }
+
+    fn wl_size(&self, ino: InodeNr) -> SimResult<u64> {
+        self.size_of(ino)
+    }
+
+    fn wl_writeback(&mut self, max_pages: usize, now: SimInstant) -> SimResult<SimInstant> {
+        Ok(self
+            .background_writeback(max_pages, IoClass::Normal, now)?
+            .finish)
+    }
+
+    fn wl_dirty_pages(&self) -> usize {
+        self.dirty_pages()
+    }
+
+    fn foreground_busy(&self) -> SimDuration {
+        self.disk().metrics().normal.busy_time
+    }
+}

@@ -1,0 +1,59 @@
+//! F2fs garbage collection with Duet (§5.4, Table 6): the cleaner picks
+//! victim segments whose valid blocks are already cached, cutting the
+//! synchronous read phase of segment cleaning.
+//!
+//! Run with: `cargo run --release --example f2fs_gc`
+
+use experiments::{run_gc_experiment, GcExperimentConfig};
+use sim_core::SimDuration;
+use sim_disk::SchedulerPolicy;
+use sim_f2fs::VictimPolicy;
+use workloads::{DistKind, FileSetConfig, Personality, WorkloadConfig};
+
+fn main() {
+    println!("fileserver workload on the log-structured filesystem;");
+    println!("background cleaner, baseline vs Duet\n");
+    println!("util   baseline_ms  duet_ms  duet_cached_blocks/segment");
+    for util in [0.4, 0.5, 0.6, 0.7] {
+        let cfg = |duet: bool| GcExperimentConfig {
+            nsegs: 512,
+            seg_blocks: 512,
+            cache_pages: 8192,
+            fileset: FileSetConfig {
+                num_files: 512,
+                mean_file_bytes: 256 * 1024,
+                sigma: 0.4,
+            },
+            workload: WorkloadConfig {
+                personality: Personality::FileServer,
+                dist: DistKind::Uniform,
+                coverage: 1.0,
+                target_util: util,
+                burst: 8,
+                append_bytes: 16 * 1024,
+                seed: 11,
+            },
+            duet,
+            victim_policy: VictimPolicy::Greedy,
+            gc_window: 512,
+            gc_interval: SimDuration::from_millis(200),
+            policy: SchedulerPolicy::default_cfq(),
+            duration: SimDuration::from_secs(30),
+            seed: 11,
+        };
+        let base = run_gc_experiment(&cfg(false)).expect("baseline");
+        let duet = run_gc_experiment(&cfg(true)).expect("duet");
+        println!(
+            "{:>4.0}%  {:>11.2}  {:>7.2}  {:>10.1}",
+            util * 100.0,
+            base.mean_cleaning_ms,
+            duet.mean_cleaning_ms,
+            duet.mean_cached
+        );
+    }
+    println!(
+        "\nThe paper's Table 6 shape: baseline cleaning time is flat, while\n\
+         Duet cleaning gets faster — it picks segments whose blocks are\n\
+         cached, skipping the synchronous reads."
+    );
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate for the Duet reproduction workspace.
+//!
+//! Re-exports every layer of the stack so that examples and integration
+//! tests can depend on a single crate. See the individual crates for the
+//! real documentation:
+//!
+//! - [`duet`] — the paper's contribution: the Duet framework.
+//! - [`duet_tasks`] — the five maintenance tasks (scrub, backup, defrag,
+//!   F2fs GC, rsync), each with baseline and opportunistic modes.
+//! - [`sim_disk`] / [`sim_cache`] / [`sim_btrfs`] / [`sim_f2fs`] — the
+//!   simulated storage stack.
+//! - [`workloads`] — Filebench-style foreground workload generation.
+//! - [`experiments`] — the evaluation harness and metrics.
+
+pub use duet;
+pub use duet_tasks;
+pub use experiments;
+pub use sim_btrfs;
+pub use sim_cache;
+pub use sim_core;
+pub use sim_disk;
+pub use sim_f2fs;
+pub use workloads;
