@@ -1,8 +1,10 @@
-//! Criterion microbenchmarks of the Duet framework's hot paths — the
-//! quantities behind Figure 9's CPU-overhead measurement.
+//! Microbenchmarks of the Duet framework's hot paths — the quantities
+//! behind Figure 9's CPU-overhead measurement. Runs on the hand-rolled
+//! harness in `bench::harness` (the workspace builds offline, with no
+//! criterion dep).
 
+use bench::harness::bench_batched;
 use bench::synthfs::{SynthFs, SYNTH_ROOT};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use duet::{Duet, DuetConfig, EventMask, TaskScope};
 use sim_cache::{PageEvent, PageKey, PageMeta};
 use sim_core::{BlockNr, InodeNr, PageIndex};
@@ -29,110 +31,106 @@ fn duet_with_session(mask: EventMask) -> Duet {
     duet
 }
 
-fn bench_event_intake(c: &mut Criterion) {
+fn bench_event_intake() {
     let fs = SynthFs;
-    let mut g = c.benchmark_group("duet_event_intake");
-    g.throughput(Throughput::Elements(1024));
     for (label, mask) in [
-        ("event_mask", EventMask::ADDED | EventMask::DIRTIED),
-        ("state_mask", EventMask::EXISTS | EventMask::MODIFIED),
+        (
+            "duet_event_intake/event_mask",
+            EventMask::ADDED | EventMask::DIRTIED,
+        ),
+        (
+            "duet_event_intake/state_mask",
+            EventMask::EXISTS | EventMask::MODIFIED,
+        ),
     ] {
-        g.bench_function(label, |b| {
-            b.iter_batched(
-                || duet_with_session(mask),
-                |mut duet| {
-                    for i in 0..1024u64 {
-                        duet.handle_page_event(meta(2 + i % 64, i % 16), PageEvent::Added, &fs);
-                    }
-                    duet
-                },
-                BatchSize::SmallInput,
-            );
-        });
+        bench_batched(
+            label,
+            1024,
+            || duet_with_session(mask),
+            |mut duet| {
+                for i in 0..1024u64 {
+                    duet.handle_page_event(meta(2 + i % 64, i % 16), PageEvent::Added, &fs);
+                }
+                duet
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_state_cancellation(c: &mut Criterion) {
+fn bench_state_cancellation() {
     // Added immediately followed by Removed: the descriptor must be
     // freed by cancellation, so memory stays flat.
     let fs = SynthFs;
-    c.bench_function("duet_state_cancellation", |b| {
-        b.iter_batched(
-            || duet_with_session(EventMask::EXISTS),
-            |mut duet| {
-                for i in 0..512u64 {
-                    duet.handle_page_event(meta(2, i), PageEvent::Added, &fs);
-                    duet.handle_page_event(meta(2, i), PageEvent::Removed, &fs);
-                }
-                assert_eq!(duet.descriptor_count(), 0);
-                duet
-            },
-            BatchSize::SmallInput,
-        );
-    });
+    bench_batched(
+        "duet_state_cancellation",
+        1024,
+        || duet_with_session(EventMask::EXISTS),
+        |mut duet| {
+            for i in 0..512u64 {
+                duet.handle_page_event(meta(2, i), PageEvent::Added, &fs);
+                duet.handle_page_event(meta(2, i), PageEvent::Removed, &fs);
+            }
+            assert_eq!(duet.descriptor_count(), 0);
+            duet
+        },
+    );
 }
 
-fn bench_fetch(c: &mut Criterion) {
+fn bench_fetch() {
     let fs = SynthFs;
-    let mut g = c.benchmark_group("duet_fetch");
-    g.throughput(Throughput::Elements(1024));
-    g.bench_function("fetch_1024_items", |b| {
-        b.iter_batched(
-            || {
-                let mut duet = duet_with_session(EventMask::EXISTS);
-                for i in 0..1024u64 {
-                    duet.handle_page_event(meta(2 + i % 64, i / 64), PageEvent::Added, &fs);
+    bench_batched(
+        "duet_fetch/fetch_1024_items",
+        1024,
+        || {
+            let mut duet = duet_with_session(EventMask::EXISTS);
+            for i in 0..1024u64 {
+                duet.handle_page_event(meta(2 + i % 64, i / 64), PageEvent::Added, &fs);
+            }
+            duet
+        },
+        |mut duet| {
+            let sid = duet::SessionId(0);
+            let mut total = 0;
+            loop {
+                let items = duet.fetch(sid, 256, &fs).expect("fetch");
+                if items.is_empty() {
+                    break;
                 }
-                duet
-            },
-            |mut duet| {
-                let sid = duet::SessionId(0);
-                let mut total = 0;
-                loop {
-                    let items = duet.fetch(sid, 256, &fs).expect("fetch");
-                    if items.is_empty() {
-                        break;
-                    }
-                    total += items.len();
-                }
-                assert_eq!(total, 1024);
-                duet
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    g.finish();
+                total += items.len();
+            }
+            assert_eq!(total, 1024);
+            duet
+        },
+    );
 }
 
-fn bench_done_filtering(c: &mut Criterion) {
+fn bench_done_filtering() {
     // Events on done files must be rejected with a single bitmap test.
     let fs = SynthFs;
-    c.bench_function("duet_done_filtered_event", |b| {
-        b.iter_batched(
-            || {
-                let mut duet = duet_with_session(EventMask::EXISTS);
-                for ino in 2..66u64 {
-                    duet.set_done(duet::SessionId(0), duet::ItemId::Inode(InodeNr(ino)))
-                        .expect("set_done");
-                }
-                duet
-            },
-            |mut duet| {
-                for i in 0..1024u64 {
-                    duet.handle_page_event(meta(2 + i % 64, i), PageEvent::Added, &fs);
-                }
-                assert_eq!(duet.descriptor_count(), 0);
-                duet
-            },
-            BatchSize::SmallInput,
-        );
-    });
+    bench_batched(
+        "duet_done_filtered_event",
+        1024,
+        || {
+            let mut duet = duet_with_session(EventMask::EXISTS);
+            for ino in 2..66u64 {
+                duet.set_done(duet::SessionId(0), duet::ItemId::Inode(InodeNr(ino)))
+                    .expect("set_done");
+            }
+            duet
+        },
+        |mut duet| {
+            for i in 0..1024u64 {
+                duet.handle_page_event(meta(2 + i % 64, i), PageEvent::Added, &fs);
+            }
+            assert_eq!(duet.descriptor_count(), 0);
+            duet
+        },
+    );
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_event_intake, bench_state_cancellation, bench_fetch, bench_done_filtering
-);
-criterion_main!(benches);
+fn main() {
+    bench_event_intake();
+    bench_state_cancellation();
+    bench_fetch();
+    bench_done_filtering();
+}

@@ -1,125 +1,109 @@
-//! Criterion microbenchmarks of the supporting data structures: the
-//! sparse bitmap (the done/relevant bitmaps of §4.2), the task
-//! library's priority queue, and the page cache hot paths.
+//! Microbenchmarks of the supporting data structures: the sparse
+//! bitmap (the done/relevant bitmaps of §4.2), the task library's
+//! priority queue, and the page cache hot paths. Runs on the
+//! hand-rolled harness in `bench::harness` (the workspace builds
+//! offline, with no criterion dep).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use bench::harness::{bench_batched, bench_loop};
 use duet::PrioQueue;
 use sim_cache::{PageCache, PageKey};
 use sim_core::{BlockNr, InodeNr, PageIndex, SparseBitmap};
 
-fn bench_bitmap(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sparse_bitmap");
-    g.throughput(Throughput::Elements(4096));
-    g.bench_function("set_sequential", |b| {
-        b.iter_batched(
-            SparseBitmap::new,
-            |mut bm| {
-                for i in 0..4096u64 {
-                    bm.set(i);
-                }
-                bm
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    g.bench_function("set_scattered", |b| {
-        b.iter_batched(
-            SparseBitmap::new,
-            |mut bm| {
-                for i in 0..4096u64 {
-                    bm.set(i * 131_071);
-                }
-                bm
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    g.bench_function("test_hit_and_miss", |b| {
-        let mut bm = SparseBitmap::new();
-        for i in 0..4096u64 {
-            bm.set(i * 2);
-        }
-        b.iter(|| {
-            let mut hits = 0u64;
+fn bench_bitmap() {
+    bench_batched(
+        "sparse_bitmap/set_sequential",
+        4096,
+        SparseBitmap::new,
+        |mut bm| {
             for i in 0..4096u64 {
-                if bm.test(i) {
-                    hits += 1;
-                }
+                bm.set(i);
             }
-            hits
-        });
-    });
-    g.finish();
-}
-
-fn bench_prioqueue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("prio_queue");
-    g.throughput(Throughput::Elements(1024));
-    g.bench_function("upsert_and_drain", |b| {
-        b.iter_batched(
-            PrioQueue::<u64, u64>::new,
-            |mut q| {
-                for i in 0..1024u64 {
-                    q.upsert(i % 256, i);
-                }
-                while q.pop_max().is_some() {}
-                q
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    g.finish();
-}
-
-fn bench_page_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("page_cache");
-    g.throughput(Throughput::Elements(4096));
-    g.bench_function("insert_with_eviction", |b| {
-        b.iter_batched(
-            || PageCache::new(1024),
-            |mut cache| {
-                for i in 0..4096u64 {
-                    cache.insert(
-                        PageKey::new(InodeNr(i % 64), PageIndex(i / 64)),
-                        Some(BlockNr(i)),
-                        i % 8 == 0,
-                    );
-                }
-                cache.drain_events();
-                cache
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    g.bench_function("lookup_hit", |b| {
-        let mut cache = PageCache::new(8192);
-        for i in 0..4096u64 {
-            cache.insert(
-                PageKey::new(InodeNr(1), PageIndex(i)),
-                Some(BlockNr(i)),
-                false,
-            );
-        }
-        cache.drain_events();
-        b.iter(|| {
-            let mut found = 0u64;
+            bm
+        },
+    );
+    bench_batched(
+        "sparse_bitmap/set_scattered",
+        4096,
+        SparseBitmap::new,
+        |mut bm| {
             for i in 0..4096u64 {
-                if cache
-                    .lookup(PageKey::new(InodeNr(1), PageIndex(i)))
-                    .is_some()
-                {
-                    found += 1;
-                }
+                bm.set(i * 131_071);
             }
-            found
-        });
+            bm
+        },
+    );
+    let mut bm = SparseBitmap::new();
+    for i in 0..4096u64 {
+        bm.set(i * 2);
+    }
+    bench_loop("sparse_bitmap/test_hit_and_miss", 4096, || {
+        let mut hits = 0u64;
+        for i in 0..4096u64 {
+            if bm.test(i) {
+                hits += 1;
+            }
+        }
+        hits
     });
-    g.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_bitmap, bench_prioqueue, bench_page_cache
-);
-criterion_main!(benches);
+fn bench_prioqueue() {
+    bench_batched(
+        "prio_queue/upsert_and_drain",
+        1024,
+        PrioQueue::<u64, u64>::new,
+        |mut q| {
+            for i in 0..1024u64 {
+                q.upsert(i % 256, i);
+            }
+            while q.pop_max().is_some() {}
+            q
+        },
+    );
+}
+
+fn bench_page_cache() {
+    bench_batched(
+        "page_cache/insert_with_eviction",
+        4096,
+        || PageCache::new(1024),
+        |mut cache| {
+            for i in 0..4096u64 {
+                cache.insert(
+                    PageKey::new(InodeNr(i % 64), PageIndex(i / 64)),
+                    Some(BlockNr(i)),
+                    i % 8 == 0,
+                );
+            }
+            cache.drain_events();
+            cache
+        },
+    );
+    let mut cache = PageCache::new(8192);
+    for i in 0..4096u64 {
+        cache.insert(
+            PageKey::new(InodeNr(1), PageIndex(i)),
+            Some(BlockNr(i)),
+            false,
+        );
+    }
+    cache.drain_events();
+    bench_loop("page_cache/lookup_hit", 4096, || {
+        let mut found = 0u64;
+        for i in 0..4096u64 {
+            if cache
+                .lookup(PageKey::new(InodeNr(1), PageIndex(i)))
+                .is_some()
+            {
+                found += 1;
+            }
+        }
+        found
+    });
+}
+
+fn main() {
+    bench_bitmap();
+    bench_prioqueue();
+    bench_page_cache();
+}

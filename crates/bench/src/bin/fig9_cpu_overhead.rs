@@ -11,12 +11,12 @@
 //! event through `handle_page_event` + periodic `fetch`, then express
 //! them as the CPU share a 12 events/ms stream would consume.
 
+use bench::harness::Stopwatch;
 use bench::synthfs::{SynthFs, SYNTH_ROOT};
 use bench::{f2, Report};
 use duet::{Duet, DuetConfig, EventMask, TaskScope};
 use sim_cache::{PageEvent, PageKey, PageMeta};
 use sim_core::{BlockNr, InodeNr, PageIndex};
-use std::time::Instant;
 
 const EVENTS_PER_MS: u64 = 12;
 const SIM_MS: u64 = 20_000;
@@ -41,7 +41,7 @@ fn run_case(mask: EventMask, fetch_every_ms: Option<u64>) -> f64 {
     let files = 512u64;
     let pages = 64u64;
     let total_events = SIM_MS * EVENTS_PER_MS;
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let mut cursor = 0u64;
     for ms in 0..SIM_MS {
         for _ in 0..EVENTS_PER_MS {
@@ -75,8 +75,7 @@ fn run_case(mask: EventMask, fetch_every_ms: Option<u64>) -> f64 {
             }
         }
     }
-    let elapsed = t0.elapsed();
-    elapsed.as_nanos() as f64 / total_events as f64
+    t0.elapsed_ns() as f64 / total_events as f64
 }
 
 fn main() {

@@ -105,5 +105,6 @@ mod tests {
     }
 }
 
+pub mod harness;
 pub mod sweeps;
 pub mod synthfs;

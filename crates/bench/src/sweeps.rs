@@ -11,6 +11,7 @@ pub fn util_grid() -> Vec<f64> {
 
 /// Sweeps `utilization × overlap` and reports the I/O-saved fraction of
 /// Duet-enabled `tasks` (the Figure 2/3/5/7/10 shape).
+#[allow(clippy::too_many_arguments)]
 pub fn saved_sweep(
     name: &'static str,
     scale: u64,

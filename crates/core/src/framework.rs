@@ -7,7 +7,7 @@ use crate::fs_view::FsIntrospect;
 use crate::session::{Item, ItemId, Session, SessionId, TaskScope};
 use sim_cache::{PageEvent, PageKey, PageMeta};
 use sim_core::{InodeNr, SimError, SimResult, PAGE_SIZE};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Framework configuration.
 #[derive(Debug, Clone, Copy)]
@@ -50,8 +50,9 @@ pub struct DuetStats {
 pub struct Duet {
     cfg: DuetConfig,
     sessions: Vec<Option<Session>>,
-    /// Merged descriptors: inode → page index → descriptor.
-    descriptors: HashMap<InodeNr, BTreeMap<u64, Descriptor>>,
+    /// Merged descriptors: inode → page index → descriptor. Ordered so
+    /// that iteration (e.g. [`Duet::pending_pages`]) is deterministic.
+    descriptors: BTreeMap<InodeNr, BTreeMap<u64, Descriptor>>,
     ndesc: usize,
     stats: DuetStats,
 }
@@ -63,7 +64,7 @@ impl Duet {
         Duet {
             sessions: (0..cfg.max_sessions).map(|_| None).collect(),
             cfg,
-            descriptors: HashMap::new(),
+            descriptors: BTreeMap::new(),
             ndesc: 0,
             stats: DuetStats::default(),
         }
@@ -166,7 +167,9 @@ impl Duet {
         if !self.session_accepts(slot, meta, fs) {
             return;
         }
-        let mask = self.sessions[slot].as_ref().expect("live session").mask;
+        let Some(mask) = self.sessions[slot].as_ref().map(|s| s.mask) else {
+            return;
+        };
         let d = self.descriptor_entry(meta.key, true, meta.dirty, meta.block);
         let was_pending = d.pending_for(slot, mask);
         {
@@ -361,7 +364,9 @@ impl Duet {
                 }
             }
             for &slot in &interested {
-                let mask = masks[slot].expect("interested session is live");
+                let Some(mask) = masks[slot] else {
+                    continue;
+                };
                 let was = d.pending_for(slot, mask);
                 if !d.sess[slot].state_init() {
                     d.sess[slot].set_reported(pre_e, pre_m);
@@ -400,32 +405,22 @@ impl Duet {
         fs: &dyn FsIntrospect,
     ) -> SimResult<Vec<Item>> {
         let slot = sid.0 as usize;
-        self.session_ref(sid)?;
-        self.stats.fetch_calls += 1;
-        let mut out = Vec::new();
         // Bound the walk by the current queue length so deferred items
         // (e.g. blockless pages re-queued) cannot spin the loop.
-        let mut budget = self.sessions[slot]
-            .as_ref()
-            .expect("checked above")
-            .queue
-            .len();
+        let mut budget = self.session_ref(sid)?.queue.len();
+        self.stats.fetch_calls += 1;
+        let mut out = Vec::new();
         while out.len() < max && budget > 0 {
             budget -= 1;
-            let key = {
-                let sess = self.sessions[slot].as_mut().expect("checked above");
-                match sess.queue.pop_front() {
-                    Some(k) => k,
-                    None => break,
-                }
+            let (key, sess_scope, sess_mask) = {
+                let Some(sess) = self.sessions[slot].as_mut() else {
+                    break;
+                };
+                let Some(key) = sess.queue.pop_front() else {
+                    break;
+                };
+                (key, sess.scope, sess.mask)
             };
-            let sess_scope;
-            let sess_mask;
-            {
-                let sess = self.sessions[slot].as_ref().expect("checked above");
-                sess_scope = sess.scope;
-                sess_mask = sess.mask;
-            }
             let Some(d) = self.descriptor_get(key) else {
                 continue;
             };
@@ -450,8 +445,7 @@ impl Duet {
                         Some(b) => Some(b),
                         None => {
                             // Still unallocated: defer to a later fetch.
-                            let sess = self.sessions[slot].as_mut().expect("checked above");
-                            sess.queue.push_back(key);
+                            self.enqueue(slot, key);
                             continue;
                         }
                     }
@@ -462,14 +456,15 @@ impl Duet {
             // here: `set_done` already marked their descriptors
             // up-to-date. Block tasks have no per-block descriptor
             // index, so "marked up-to-date" is applied lazily now.
-            let skip = match sess_scope {
-                TaskScope::File { .. } => false,
-                TaskScope::Block { .. } => {
-                    let sess = self.sessions[slot].as_ref().expect("checked above");
-                    sess.done.test(block.expect("resolved above").raw())
-                }
+            let skip = match (sess_scope, block) {
+                (TaskScope::File { .. }, _) | (TaskScope::Block { .. }, None) => false,
+                (TaskScope::Block { .. }, Some(b)) => self.sessions[slot]
+                    .as_ref()
+                    .is_some_and(|sess| sess.done.test(b.raw())),
             };
-            let d = self.descriptor_get(key).expect("descriptor present");
+            let Some(d) = self.descriptor_get(key) else {
+                continue;
+            };
             if skip {
                 // Mark up-to-date without delivering.
                 d.sess[slot].clear_evt();
@@ -508,15 +503,14 @@ impl Duet {
             d.sess[slot].clear_force_not_exists();
             let (e, m) = (d.cur_exists, d.cur_modified);
             d.sess[slot].set_reported(e, m);
-            let item = match sess_scope {
-                TaskScope::File { .. } => Item {
+            let item = match (sess_scope, block) {
+                (TaskScope::File { .. }, _) => Item {
                     id: ItemId::Inode(key.ino),
                     offset: key.index.raw() * PAGE_SIZE,
                     flags,
                     moved_to: None,
                 },
-                TaskScope::Block { .. } => {
-                    let b = block.expect("resolved above");
+                (TaskScope::Block { .. }, Some(b)) => {
                     // Surface a post-event migration (log-structured
                     // flush) for the GC's segment counters.
                     let moved_to = fs.fibmap(key.ino, key.index).filter(|&cur| cur != b);
@@ -527,6 +521,8 @@ impl Duet {
                         moved_to,
                     }
                 }
+                // Block tasks resolved (or deferred on) the block above.
+                (TaskScope::Block { .. }, None) => continue,
             };
             out.push(item);
             self.gc_descriptor(key);
@@ -665,7 +661,9 @@ impl Duet {
                 }
                 // Directory rename: reset relevant and done for all
                 // files except those fully processed (both bits set).
-                let sess = self.sessions[slot].as_mut().expect("live session");
+                let Some(sess) = self.sessions[slot].as_mut() else {
+                    continue;
+                };
                 let keep: Vec<u64> = sess
                     .relevant
                     .iter()
@@ -680,8 +678,7 @@ impl Duet {
             } else if !was_rel && now_rel {
                 // Moved in: start tracking; seed descriptors for pages
                 // already cached.
-                {
-                    let sess = self.sessions[slot].as_mut().expect("live session");
+                if let Some(sess) = self.sessions[slot].as_mut() {
                     sess.done.clear(ino.raw());
                     sess.relevant.set(ino.raw());
                 }
@@ -690,7 +687,9 @@ impl Duet {
                 }
             } else if was_rel && !now_rel {
                 // Moved out: report the pages gone, then ignore the file.
-                let mask = self.sessions[slot].as_ref().expect("live session").mask;
+                let Some(mask) = self.sessions[slot].as_ref().map(|s| s.mask) else {
+                    continue;
+                };
                 for meta in fs.cached_pages_of(ino) {
                     let d = self.descriptor_entry(meta.key, true, meta.dirty, meta.block);
                     let was = d.pending_for(slot, mask);
@@ -711,9 +710,10 @@ impl Duet {
                 // intake, but the pending `Removed`/`¬Exists` items are
                 // still delivered — "after the next fetch, Duet will
                 // ignore the file" (§4.1).
-                let sess = self.sessions[slot].as_mut().expect("live session");
-                sess.relevant.clear(ino.raw());
-                sess.done.set(ino.raw());
+                if let Some(sess) = self.sessions[slot].as_mut() {
+                    sess.relevant.clear(ino.raw());
+                    sess.done.set(ino.raw());
+                }
             }
         }
     }

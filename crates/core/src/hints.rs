@@ -12,7 +12,7 @@ use crate::events::ItemFlags;
 use crate::session::Item;
 use crate::PrioQueue;
 use sim_core::InodeNr;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How queued files are prioritized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +33,7 @@ pub enum Priority {
 #[derive(Debug)]
 pub struct ResidencyTracker {
     policy: Priority,
-    resident: HashMap<InodeNr, u64>,
+    resident: BTreeMap<InodeNr, u64>,
     queue: PrioQueue<u64, u64>,
 }
 
@@ -42,7 +42,7 @@ impl ResidencyTracker {
     pub fn new(policy: Priority) -> Self {
         ResidencyTracker {
             policy,
-            resident: HashMap::new(),
+            resident: BTreeMap::new(),
             queue: PrioQueue::new(),
         }
     }
@@ -80,11 +80,7 @@ impl ResidencyTracker {
                         Priority::ResidentPages => count,
                         Priority::ResidentFraction => {
                             let size = size_pages(ino);
-                            if size == 0 {
-                                0
-                            } else {
-                                count.min(size) * 1000 / size
-                            }
+                            (count.min(size) * 1000).checked_div(size).unwrap_or(0)
                         }
                         Priority::TouchedOnly => unreachable!(),
                     };

@@ -13,9 +13,8 @@ use crate::events::{EventMask, ItemFlags};
 use crate::framework::Duet;
 use crate::fs_view::FsIntrospect;
 use crate::session::TaskScope;
-use proptest::prelude::*;
 use sim_cache::{PageEvent, PageKey, PageMeta};
-use sim_core::{BlockNr, DeviceId, InodeNr, PageIndex};
+use sim_core::{BlockNr, DeviceId, InodeNr, PageIndex, SimRng};
 
 /// Trivial filesystem: one file, everything relevant.
 struct FlatFs;
@@ -56,11 +55,18 @@ enum Action {
     Fetch,
 }
 
-fn action_strategy() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        4 => (0u64..4, any::<u8>()).prop_map(|(page, tag)| Action::Event { page, tag }),
-        1 => Just(Action::Fetch),
-    ]
+/// Weighted action pick mirroring the original generator's 4:1
+/// event-to-fetch mix. Randomized cases are driven by the deterministic
+/// `SimRng` (the workspace builds offline, with no proptest dep).
+fn action_pick(rng: &mut SimRng) -> Action {
+    if rng.gen_range(0, 5) < 4 {
+        Action::Event {
+            page: rng.gen_range(0, 4),
+            tag: rng.gen_range(0, 256) as u8,
+        }
+    } else {
+        Action::Fetch
+    }
 }
 
 /// Reference per-page state.
@@ -111,18 +117,22 @@ fn apply(p: &mut RefPage, ev: PageEvent) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// State sessions: fetched notifications are exactly the state
-    /// diffs against the last report, for every interleaving.
-    #[test]
-    fn state_session_matches_reference(actions in prop::collection::vec(action_strategy(), 1..120)) {
+/// State sessions: fetched notifications are exactly the state
+/// diffs against the last report, for every interleaving.
+#[test]
+fn state_session_matches_reference() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::new(0x57A7E ^ case);
+        let actions: Vec<Action> = (0..rng.gen_range(1, 120))
+            .map(|_| action_pick(&mut rng))
+            .collect();
         let fs = FlatFs;
         let mut duet = Duet::with_defaults();
         let sid = duet
             .register(
-                TaskScope::File { registered_dir: ROOT },
+                TaskScope::File {
+                    registered_dir: ROOT,
+                },
                 EventMask::EXISTS | EventMask::MODIFIED,
                 &fs,
             )
@@ -183,7 +193,7 @@ proptest! {
                         p.reported_exists = p.exists;
                         p.reported_modified = p.modified;
                     }
-                    prop_assert_eq!(got, expected);
+                    assert_eq!(got, expected);
                 }
             }
         }
@@ -195,21 +205,33 @@ proptest! {
                 owed += 1;
             }
         }
-        prop_assert_eq!(final_items.len(), owed);
+        assert_eq!(final_items.len(), owed);
         let empty = duet.fetch(sid, 64, &fs).expect("fetch");
-        prop_assert!(empty.is_empty());
-        prop_assert_eq!(duet.descriptor_count(), 0);
+        assert!(empty.is_empty());
+        assert_eq!(duet.descriptor_count(), 0);
     }
+}
 
-    /// Event sessions: fetched flag bits are exactly the union of
-    /// subscribed events since the last fetch.
-    #[test]
-    fn event_session_matches_reference(actions in prop::collection::vec(action_strategy(), 1..120)) {
+/// Event sessions: fetched flag bits are exactly the union of
+/// subscribed events since the last fetch.
+#[test]
+fn event_session_matches_reference() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::new(0xE4E47 ^ case);
+        let actions: Vec<Action> = (0..rng.gen_range(1, 120))
+            .map(|_| action_pick(&mut rng))
+            .collect();
         let fs = FlatFs;
         let mut duet = Duet::with_defaults();
         let mask = EventMask::ADDED | EventMask::REMOVED | EventMask::DIRTIED | EventMask::FLUSHED;
         let sid = duet
-            .register(TaskScope::File { registered_dir: ROOT }, mask, &fs)
+            .register(
+                TaskScope::File {
+                    registered_dir: ROOT,
+                },
+                mask,
+                &fs,
+            )
             .expect("register");
         let mut reference = [RefPage::default(); 4];
         let mut pending: [u8; 4] = [0; 4];
@@ -255,7 +277,7 @@ proptest! {
                             *bits = 0;
                         }
                     }
-                    prop_assert_eq!(got, expected);
+                    assert_eq!(got, expected);
                 }
             }
         }

@@ -13,7 +13,7 @@ use crate::task::{BtrfsCtx, BtrfsTask, StepResult, TaskMetrics, TaskMode};
 use duet::{EventMask, ItemFlags, ItemId, SessionId, TaskScope};
 use sim_btrfs::SnapshotId;
 use sim_cache::PageKey;
-use sim_core::{InodeNr, SimResult, SparseBitmap, PAGE_SIZE};
+use sim_core::{InodeNr, SimError, SimResult, SparseBitmap, PAGE_SIZE};
 use sim_disk::IoClass;
 
 /// Pages processed per dispatch. The paper's backup "issues 64KB random
@@ -158,7 +158,11 @@ impl BtrfsTask for Backup {
     fn step(&mut self, mut ctx: BtrfsCtx<'_>) -> SimResult<StepResult> {
         assert!(self.started, "step before start");
         self.drain_events(&mut ctx)?;
-        let snap = self.snap.expect("started");
+        let Some(snap) = self.snap else {
+            return Err(SimError::InvalidArgument(
+                "backup stepped before start".into(),
+            ));
+        };
         let mut finish = ctx.now;
         let mut processed = 0u64;
         while processed < CHUNK_PAGES {

@@ -14,7 +14,7 @@ use crate::task::{BtrfsCtx, BtrfsTask, StepResult, TaskMetrics, TaskMode};
 use duet::{EventMask, ItemId, Priority, ResidencyTracker, SessionId, TaskScope};
 use sim_core::{InodeNr, SimResult};
 use sim_disk::IoClass;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 const FETCH_BATCH: usize = 256;
 
@@ -25,7 +25,7 @@ pub struct Defrag {
     sid: Option<SessionId>,
     /// Fragmented files at start, in inode order (the plan).
     plan: Vec<InodeNr>,
-    plan_set: HashSet<InodeNr>,
+    plan_set: BTreeSet<InodeNr>,
     plan_idx: usize,
     /// Residency tracking + priority queue (Algorithm 1).
     tracker: ResidencyTracker,
@@ -57,7 +57,7 @@ impl Defrag {
             class: IoClass::Idle,
             sid: None,
             plan: Vec::new(),
-            plan_set: HashSet::new(),
+            plan_set: BTreeSet::new(),
             plan_idx: 0,
             tracker: ResidencyTracker::new(Priority::ResidentFraction),
             total_io: 0,

@@ -16,7 +16,7 @@ use duet::{Duet, EventMask, ItemFlags, SessionId, TaskScope};
 use sim_core::{SegmentNr, SimInstant, SimResult};
 use sim_disk::IoClass;
 use sim_f2fs::{cleaning_cost, CleanResult, F2fsSim, SegState, VictimPolicy};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 const FETCH_BATCH: usize = 256;
 
@@ -40,7 +40,7 @@ pub struct GarbageCollector {
     window: u32,
     cursor: u32,
     /// Event-derived cached-valid-block counts per segment.
-    cached: HashMap<u32, i64>,
+    cached: BTreeMap<u32, i64>,
     /// Cleaning outcomes, in order (Table 6's raw data).
     pub results: Vec<CleanResult>,
     started: bool,
@@ -56,7 +56,7 @@ impl GarbageCollector {
             sid: None,
             window: 4096,
             cursor: 0,
-            cached: HashMap::new(),
+            cached: BTreeMap::new(),
             results: Vec::new(),
             started: false,
         }
@@ -164,7 +164,7 @@ impl GarbageCollector {
                 TaskMode::Baseline => 0,
             };
             let cost = cleaning_cost(self.policy, &info, seg_blocks, cached, now_mtime);
-            if best.map_or(true, |(bc, _)| cost < bc) {
+            if best.is_none_or(|(bc, _)| cost < bc) {
                 best = Some((cost, s));
             }
         }

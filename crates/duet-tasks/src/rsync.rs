@@ -20,7 +20,7 @@ use duet::{Duet, EventMask, ItemId, Priority, ResidencyTracker, SessionId, TaskS
 use sim_btrfs::BtrfsSim;
 use sim_core::{InodeNr, SimError, SimInstant, SimResult, PAGE_SIZE};
 use sim_disk::IoClass;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Pages per step: rsync "processes files in 32KB chunks" (§5.6).
 const CHUNK_PAGES: u64 = 8;
@@ -54,17 +54,17 @@ pub struct Rsync {
     src_dir: InodeNr,
     /// Files in depth-first traversal order (the sender's order).
     plan: Vec<InodeNr>,
-    plan_set: HashSet<InodeNr>,
+    plan_set: BTreeSet<InodeNr>,
     /// Size (pages) each file was planned at; reconciled at activation
     /// because files may grow or shrink before the sender reaches them.
-    planned_pages: HashMap<InodeNr, u64>,
+    planned_pages: BTreeMap<InodeNr, u64>,
     plan_idx: usize,
     active: Option<ActiveFile>,
     /// Residency tracking + priority queue (Algorithm 1; priority is
     /// the number of resident pages, Table 3).
     tracker: ResidencyTracker,
     /// Files whose metadata has been sent (exactly once each, §5.5).
-    meta_sent: HashSet<InodeNr>,
+    meta_sent: BTreeSet<InodeNr>,
     total_pages: u64,
     pages_done: u64,
     src_read: u64,
@@ -82,12 +82,12 @@ impl Rsync {
             sid: None,
             src_dir,
             plan: Vec::new(),
-            plan_set: HashSet::new(),
-            planned_pages: HashMap::new(),
+            plan_set: BTreeSet::new(),
+            planned_pages: BTreeMap::new(),
             plan_idx: 0,
             active: None,
             tracker: ResidencyTracker::new(Priority::ResidentPages),
-            meta_sent: HashSet::new(),
+            meta_sent: BTreeSet::new(),
             total_pages: 0,
             pages_done: 0,
             src_read: 0,
@@ -252,7 +252,13 @@ impl Rsync {
         }
         let mut finish = ctx.now;
         let (ino, dst_ino, page, pages_now, file_done) = {
-            let a = self.active.as_mut().expect("picked above");
+            let Some(a) = self.active.as_mut() else {
+                // pick_next found nothing activatable after all.
+                return Ok(StepResult {
+                    finish: ctx.now,
+                    complete: true,
+                });
+            };
             let pages_now = CHUNK_PAGES.min(a.total_pages - a.next_page);
             let page = a.next_page;
             a.next_page += pages_now;
@@ -373,13 +379,12 @@ mod tests {
 
     fn populate_tree(src: &mut BtrfsSim) -> Vec<InodeNr> {
         let docs = src.mkdir(src.root(), "docs").unwrap();
-        let mut inos = Vec::new();
-        inos.push(
+        let inos = vec![
             src.populate_file(src.root(), "top.bin", 16 * PAGE_SIZE)
                 .unwrap(),
-        );
-        inos.push(src.populate_file(docs, "a.txt", 8 * PAGE_SIZE).unwrap());
-        inos.push(src.populate_file(docs, "b.txt", 8 * PAGE_SIZE).unwrap());
+            src.populate_file(docs, "a.txt", 8 * PAGE_SIZE).unwrap(),
+            src.populate_file(docs, "b.txt", 8 * PAGE_SIZE).unwrap(),
+        ];
         inos
     }
 

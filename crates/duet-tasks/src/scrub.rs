@@ -130,10 +130,11 @@ impl Scrubber {
                     // New data, new checksum: re-verify unless the scan
                     // already passed (matching the baseline's single-
                     // pass guarantee, §6.2).
-                    if !self.passed(block) && self.verified.clear(block.raw()) {
-                        if self.opportunistic > 0 {
-                            self.opportunistic -= 1;
-                        }
+                    if !self.passed(block)
+                        && self.verified.clear(block.raw())
+                        && self.opportunistic > 0
+                    {
+                        self.opportunistic -= 1;
                     }
                 } else if item.flags.contains(ItemFlags::ADDED) && self.verified.set(block.raw()) {
                     // Verified by the read path: scrubbed for free.

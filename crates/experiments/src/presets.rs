@@ -43,7 +43,7 @@ pub fn paper_scaled(
     let num_files = (data_bytes / mean_file).max(16) as usize;
     let capacity_blocks = (PAPER_DEVICE_BYTES / scale) / PAGE_SIZE;
     let cache_pages = ((PAPER_CACHE_BYTES / scale) / PAGE_SIZE).max(256) as usize;
-    let workload = (utilization > 0.0).then(|| WorkloadConfig {
+    let workload = (utilization > 0.0).then_some(WorkloadConfig {
         personality,
         dist,
         coverage,

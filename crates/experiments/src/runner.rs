@@ -162,7 +162,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> SimResult<ExperimentResult> {
     let mut iter = 0u64;
     while now < end {
         iter += 1;
-        if iter % 256 == 0 && cfg.duet {
+        if iter.is_multiple_of(256) && cfg.duet {
             peak_memory = peak_memory.max(duet.memory_bytes());
         }
         last_wb = maybe_writeback(&mut fs, &mut duet, now, last_wb)?;
@@ -194,13 +194,12 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> SimResult<ExperimentResult> {
         }
         // Foreground operation due?
         let next_wl = workload.as_ref().map(|w| w.next_op_time());
-        if let Some(t) = next_wl {
-            if t <= now {
-                let w = workload.as_mut().expect("checked above");
+        if next_wl.is_some_and(|t| t <= now) {
+            if let Some(w) = workload.as_mut() {
                 w.run_op(&mut fs, now)?;
                 pump_btrfs(&mut fs, &mut duet);
-                continue;
             }
+            continue;
         }
         // Maintenance dispatch in the idle gap.
         let incomplete: Vec<usize> = (0..tasks.len())

@@ -19,7 +19,7 @@ fn small_cfg(tasks: Vec<TaskKind>, duet: bool, util: f64) -> ExperimentConfig {
             mean_file_bytes: 128 * 1024,
             sigma: 0.4,
         },
-        workload: (util > 0.0).then(|| WorkloadConfig {
+        workload: (util > 0.0).then_some(WorkloadConfig {
             personality: Personality::WebServer,
             dist: DistKind::Uniform,
             coverage: 1.0,

@@ -48,7 +48,7 @@ pub struct BlockTable {
     backref_ino: Vec<u64>,
     backref_idx: Vec<u64>,
     /// Blocks with injected silent corruption.
-    corrupted: std::collections::HashSet<u64>,
+    corrupted: std::collections::BTreeSet<u64>,
     /// Monotonic content-version source.
     next_version: u64,
 }
@@ -70,7 +70,7 @@ impl BlockTable {
             refcount: vec![0; n],
             backref_ino: vec![NO_BACKREF; n],
             backref_idx: vec![0; n],
-            corrupted: std::collections::HashSet::new(),
+            corrupted: std::collections::BTreeSet::new(),
             next_version: 1,
         }
     }

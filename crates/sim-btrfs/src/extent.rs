@@ -96,7 +96,9 @@ impl ExtentMap {
             .map(|(&k, _)| k)
             .collect();
         for key in overlapping {
-            let e = self.map.remove(&key).expect("extent vanished");
+            let Some(e) = self.map.remove(&key) else {
+                continue;
+            };
             let e_end = e.logical + e.len;
             // Left remainder.
             if e.logical < start {
@@ -304,23 +306,26 @@ mod tests {
         assert!(m.is_empty());
     }
 
+    // Randomized reference test driven by the deterministic `SimRng`
+    // (the workspace builds offline, with no proptest dep).
     mod properties {
         use super::*;
-        use proptest::prelude::*;
-        use std::collections::HashMap;
+        use sim_core::SimRng;
+        use std::collections::BTreeMap;
 
-        proptest! {
-            /// The extent map agrees with a reference page->block map
-            /// under arbitrary write sequences, and every displaced
-            /// block was previously mapped in the written range.
-            #[test]
-            fn matches_reference_map(
-                writes in prop::collection::vec((0u64..64, 1u64..16), 1..60),
-            ) {
+        /// The extent map agrees with a reference page->block map
+        /// under arbitrary write sequences, and every displaced
+        /// block was previously mapped in the written range.
+        #[test]
+        fn matches_reference_map() {
+            for case in 0..64u64 {
+                let mut rng = SimRng::new(0xE77E ^ case);
                 let mut m = ExtentMap::new();
-                let mut reference: HashMap<u64, u64> = HashMap::new();
+                let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
                 let mut next_phys = 0u64;
-                for (start, len) in writes {
+                for _ in 0..rng.gen_range(1, 60) {
+                    let start = rng.gen_range(0, 64);
+                    let len = rng.gen_range(1, 16);
                     let phys = next_phys;
                     next_phys += len;
                     let displaced = m.map_range(start, &[run(phys * 1000, len)]);
@@ -334,15 +339,12 @@ mod tests {
                     let mut got: Vec<u64> = displaced.iter().map(|b| b.raw()).collect();
                     got.sort_unstable();
                     expected_displaced.sort_unstable();
-                    prop_assert_eq!(got, expected_displaced);
+                    assert_eq!(got, expected_displaced);
                 }
                 for (page, block) in &reference {
-                    prop_assert_eq!(
-                        m.block_of(PageIndex(*page)),
-                        Some(BlockNr(*block))
-                    );
+                    assert_eq!(m.block_of(PageIndex(*page)), Some(BlockNr(*block)));
                 }
-                prop_assert_eq!(m.mapped_pages(), reference.len() as u64);
+                assert_eq!(m.mapped_pages(), reference.len() as u64);
             }
         }
     }

@@ -868,10 +868,10 @@ impl BtrfsSim {
     ///
     /// Intended for tests and debugging; cost is O(data).
     pub fn check_consistency(&self) -> SimResult<()> {
-        use std::collections::HashMap;
+        use std::collections::BTreeMap;
         let fail = |why: String| Err(SimError::InvalidArgument(format!("fsck: {why}")));
         // Expected refcounts from the live tree.
-        let mut expect: HashMap<BlockNr, u32> = HashMap::new();
+        let mut expect: BTreeMap<BlockNr, u32> = BTreeMap::new();
         for node in self.inodes.iter() {
             for e in node.extents.iter() {
                 for i in 0..e.len {

@@ -430,9 +430,11 @@ fn fsck_passes_on_healthy_fs_and_catches_corruption() {
     assert!(err.to_string().contains("fsck"), "{err}");
 }
 
+// Randomized churn test driven by the deterministic `SimRng` (the
+// workspace builds offline, with no proptest dep).
 mod properties {
     use super::*;
-    use proptest::prelude::*;
+    use sim_core::SimRng;
 
     #[derive(Debug, Clone, Copy)]
     enum Churn {
@@ -444,118 +446,116 @@ mod properties {
         Writeback,
     }
 
-    fn churn_strategy() -> impl Strategy<Value = Churn> {
-        prop_oneof![
-            4 => (0u8..6, 0u8..8).prop_map(|(file, page)| Churn::Write { file, page }),
-            2 => (0u8..6).prop_map(|file| Churn::Append { file }),
-            1 => (0u8..6).prop_map(|file| Churn::Delete { file }),
-            3 => (0u8..6).prop_map(|file| Churn::Read { file }),
-            1 => (0u8..6).prop_map(|file| Churn::Defrag { file }),
-            1 => Just(Churn::Writeback),
-        ]
+    /// Weighted churn pick mirroring the original generator's 4:2:1:3:1:1
+    /// operation mix.
+    fn churn_pick(rng: &mut SimRng) -> Churn {
+        let file = rng.gen_range(0, 6) as u8;
+        match rng.gen_range(0, 12) {
+            0..=3 => Churn::Write {
+                file,
+                page: rng.gen_range(0, 8) as u8,
+            },
+            4..=5 => Churn::Append { file },
+            6 => Churn::Delete { file },
+            7..=9 => Churn::Read { file },
+            10 => Churn::Defrag { file },
+            _ => Churn::Writeback,
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// Snapshots are immutable: whatever churn the live filesystem
-        /// sees — overwrites, appends, deletions, defragmentation —
-        /// every (file, page) → block mapping captured at snapshot time
-        /// stays intact and its blocks stay allocated, until the
-        /// snapshot is deleted; then all space is reclaimed.
-        #[test]
-        fn snapshot_mappings_survive_arbitrary_churn(
-            ops in prop::collection::vec(churn_strategy(), 1..80),
-        ) {
-            let mut fs = make_fs(1 << 14, 256);
-            let mut files = Vec::new();
-            for i in 0..6u64 {
-                files.push(
-                    fs.populate_file(fs.root(), &format!("f{i}"), page_bytes(8))
-                        .unwrap(),
-                );
-            }
-            let snap = fs.create_snapshot().unwrap();
-            // Capture the ground truth.
-            let mut truth = Vec::new();
-            for &ino in &files {
-                for p in 0..8u64 {
-                    truth.push((
-                        ino,
-                        p,
-                        fs.snapshot_block(snap, ino, PageIndex(p)).unwrap(),
-                    ));
-                }
-            }
-            let mut alive: Vec<bool> = vec![true; files.len()];
-            for op in ops {
-                match op {
-                    Churn::Write { file, page } => {
-                        let i = file as usize;
-                        if alive[i] {
-                            fs.write(
-                                files[i],
-                                page as u64 * PAGE_SIZE,
-                                PAGE_SIZE,
-                                NORMAL,
-                                T0,
-                            )
-                            .unwrap();
-                        }
-                    }
-                    Churn::Append { file } => {
-                        let i = file as usize;
-                        if alive[i] {
-                            fs.append(files[i], PAGE_SIZE, NORMAL, T0).unwrap();
-                        }
-                    }
-                    Churn::Delete { file } => {
-                        let i = file as usize;
-                        if alive[i] {
-                            fs.delete_file(files[i]).unwrap();
-                            alive[i] = false;
-                        }
-                    }
-                    Churn::Read { file } => {
-                        let i = file as usize;
-                        if alive[i] {
-                            let size = fs.inodes().get(files[i]).unwrap().size_bytes;
-                            fs.read(files[i], 0, size, NORMAL, T0).unwrap();
-                        }
-                    }
-                    Churn::Defrag { file } => {
-                        let i = file as usize;
-                        if alive[i] {
-                            fs.defrag_file(files[i], IDLE, T0).unwrap();
-                        }
-                    }
-                    Churn::Writeback => {
-                        fs.background_writeback(64, NORMAL, T0).unwrap();
-                    }
-                }
-                fs.check_consistency().expect("fsck");
-                // The snapshot view never changes.
-                for &(ino, p, expected) in &truth {
-                    prop_assert_eq!(
-                        fs.snapshot_block(snap, ino, PageIndex(p)).unwrap(),
-                        expected
+    /// Snapshots are immutable: whatever churn the live filesystem
+    /// sees — overwrites, appends, deletions, defragmentation —
+    /// every (file, page) → block mapping captured at snapshot time
+    /// stays intact and its blocks stay allocated, until the
+    /// snapshot is deleted; then all space is reclaimed.
+    #[test]
+    fn snapshot_mappings_survive_arbitrary_churn() {
+        for case in 0..48u64 {
+            let mut rng = SimRng::new(0x5A95 ^ case);
+            let ops: Vec<Churn> = (0..rng.gen_range(1, 80))
+                .map(|_| churn_pick(&mut rng))
+                .collect();
+            {
+                let mut fs = make_fs(1 << 14, 256);
+                let mut files = Vec::new();
+                for i in 0..6u64 {
+                    files.push(
+                        fs.populate_file(fs.root(), &format!("f{i}"), page_bytes(8))
+                            .unwrap(),
                     );
-                    if let Some(b) = expected {
-                        prop_assert!(
-                            fs.blocks().refcount_of(b).unwrap() >= 1,
-                            "snapshot block freed under churn"
-                        );
+                }
+                let snap = fs.create_snapshot().unwrap();
+                // Capture the ground truth.
+                let mut truth = Vec::new();
+                for &ino in &files {
+                    for p in 0..8u64 {
+                        truth.push((ino, p, fs.snapshot_block(snap, ino, PageIndex(p)).unwrap()));
                     }
                 }
-            }
-            // Deleting live files and the snapshot reclaims everything.
-            for (i, &ino) in files.iter().enumerate() {
-                if alive[i] {
-                    fs.delete_file(ino).unwrap();
+                let mut alive: Vec<bool> = vec![true; files.len()];
+                for op in ops {
+                    match op {
+                        Churn::Write { file, page } => {
+                            let i = file as usize;
+                            if alive[i] {
+                                fs.write(files[i], page as u64 * PAGE_SIZE, PAGE_SIZE, NORMAL, T0)
+                                    .unwrap();
+                            }
+                        }
+                        Churn::Append { file } => {
+                            let i = file as usize;
+                            if alive[i] {
+                                fs.append(files[i], PAGE_SIZE, NORMAL, T0).unwrap();
+                            }
+                        }
+                        Churn::Delete { file } => {
+                            let i = file as usize;
+                            if alive[i] {
+                                fs.delete_file(files[i]).unwrap();
+                                alive[i] = false;
+                            }
+                        }
+                        Churn::Read { file } => {
+                            let i = file as usize;
+                            if alive[i] {
+                                let size = fs.inodes().get(files[i]).unwrap().size_bytes;
+                                fs.read(files[i], 0, size, NORMAL, T0).unwrap();
+                            }
+                        }
+                        Churn::Defrag { file } => {
+                            let i = file as usize;
+                            if alive[i] {
+                                fs.defrag_file(files[i], IDLE, T0).unwrap();
+                            }
+                        }
+                        Churn::Writeback => {
+                            fs.background_writeback(64, NORMAL, T0).unwrap();
+                        }
+                    }
+                    fs.check_consistency().expect("fsck");
+                    // The snapshot view never changes.
+                    for &(ino, p, expected) in &truth {
+                        assert_eq!(
+                            fs.snapshot_block(snap, ino, PageIndex(p)).unwrap(),
+                            expected
+                        );
+                        if let Some(b) = expected {
+                            assert!(
+                                fs.blocks().refcount_of(b).unwrap() >= 1,
+                                "snapshot block freed under churn"
+                            );
+                        }
+                    }
                 }
+                // Deleting live files and the snapshot reclaims everything.
+                for (i, &ino) in files.iter().enumerate() {
+                    if alive[i] {
+                        fs.delete_file(ino).unwrap();
+                    }
+                }
+                fs.delete_snapshot(snap).unwrap();
+                assert_eq!(fs.allocated_blocks(), 0, "space leak");
             }
-            fs.delete_snapshot(snap).unwrap();
-            prop_assert_eq!(fs.allocated_blocks(), 0, "space leak");
         }
     }
 }

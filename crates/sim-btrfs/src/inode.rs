@@ -9,7 +9,7 @@
 
 use crate::extent::ExtentMap;
 use sim_core::{InodeNr, SimError, SimResult};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Whether an inode is a regular file or a directory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,7 +54,7 @@ impl Inode {
 /// The inode table and namespace of one filesystem.
 #[derive(Debug)]
 pub struct InodeTable {
-    inodes: HashMap<InodeNr, Inode>,
+    inodes: BTreeMap<InodeNr, Inode>,
     next: u64,
     root: InodeNr,
 }
@@ -63,7 +63,7 @@ impl InodeTable {
     /// Creates a table containing only the root directory.
     pub fn new() -> Self {
         let root = InodeNr(1);
-        let mut inodes = HashMap::new();
+        let mut inodes = BTreeMap::new();
         inodes.insert(
             root,
             Inode {
@@ -164,7 +164,7 @@ impl InodeTable {
         let parent = node.parent;
         let name = node.name.clone();
         self.get_mut(parent)?.children.remove(&name);
-        Ok(self.inodes.remove(&ino).expect("checked above"))
+        self.inodes.remove(&ino).ok_or(SimError::NoSuchInode(ino))
     }
 
     /// Moves `ino` under `new_parent` as `new_name`.

@@ -13,7 +13,7 @@
 
 use crate::page::{PageEvent, PageKey, PageMeta};
 use sim_core::{BlockNr, InodeNr};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Cache hit/miss and traffic statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,21 +55,23 @@ struct Entry {
 #[derive(Debug)]
 pub struct PageCache {
     capacity: usize,
-    entries: HashMap<PageKey, Entry>,
+    /// Ordered so scans (`iter`, `flush_file`, `remove_file`) visit
+    /// pages deterministically — their order reaches the event queue.
+    entries: BTreeMap<PageKey, Entry>,
     /// LRU order: ascending tick = least recently used first.
     lru: BTreeMap<u64, PageKey>,
     tick: u64,
     events: VecDeque<(PageMeta, PageEvent)>,
     stats: CacheStats,
     /// Cached-page count per file, for O(1) residency queries.
-    per_ino: HashMap<InodeNr, usize>,
+    per_ino: BTreeMap<InodeNr, usize>,
     /// Pages deprioritized for eviction (informed replacement): pages
     /// whose Duet notifications have not been consumed yet. An
     /// *extension* beyond the paper, which names informed cache
     /// replacement as future work (§2). Protection is advisory — a
     /// protected page is still evicted when nothing else is available,
     /// so this never degenerates into pinning (which §3.1 avoids).
-    protected: std::collections::HashSet<PageKey>,
+    protected: BTreeSet<PageKey>,
 }
 
 impl PageCache {
@@ -82,13 +84,13 @@ impl PageCache {
         assert!(capacity > 0, "page cache capacity must be positive");
         PageCache {
             capacity,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             lru: BTreeMap::new(),
             tick: 0,
             events: VecDeque::new(),
             stats: CacheStats::default(),
-            per_ino: HashMap::new(),
-            protected: std::collections::HashSet::new(),
+            per_ino: BTreeMap::new(),
+            protected: BTreeSet::new(),
         }
     }
 
@@ -255,14 +257,20 @@ impl PageCache {
                     break;
                 }
             }
-            let victim_tick = chosen
-                .or(clean_protected)
-                .unwrap_or_else(|| *self.lru.keys().next().expect("lru empty with entries"));
-            let victim = self.lru.remove(&victim_tick).expect("victim vanished");
-            let e = self
-                .entries
-                .remove(&victim)
-                .expect("entry missing for lru key");
+            let victim_tick = match chosen.or(clean_protected) {
+                Some(t) => t,
+                // Fall back to the oldest page outright (all dirty).
+                None => match self.lru.keys().next() {
+                    Some(&t) => t,
+                    None => break,
+                },
+            };
+            let Some(victim) = self.lru.remove(&victim_tick) else {
+                break;
+            };
+            let Some(e) = self.entries.remove(&victim) else {
+                continue;
+            };
             self.ino_dec(victim.ino);
             let before = Self::meta(victim, &e);
             if e.dirty {
@@ -322,7 +330,9 @@ impl PageCache {
             .collect();
         let mut out = Vec::with_capacity(victims.len());
         for key in victims {
-            let e = self.entries.get_mut(&key).expect("victim vanished");
+            let Some(e) = self.entries.get_mut(&key) else {
+                continue;
+            };
             e.dirty = false;
             self.stats.writebacks += 1;
             let meta = Self::meta(key, e);
@@ -343,7 +353,9 @@ impl PageCache {
             .collect();
         let mut out = Vec::with_capacity(victims.len());
         for key in victims {
-            let e = self.entries.get_mut(&key).expect("victim vanished");
+            let Some(e) = self.entries.get_mut(&key) else {
+                continue;
+            };
             e.dirty = false;
             self.stats.writebacks += 1;
             let meta = Self::meta(key, e);
@@ -383,7 +395,7 @@ impl PageCache {
         Some(meta)
     }
 
-    /// Iterates over all cached pages in unspecified order (used by the
+    /// Iterates over all cached pages in key order (used by the
     /// Duet registration scan, §4.1).
     pub fn iter(&self) -> impl Iterator<Item = PageMeta> + '_ {
         self.entries.iter().map(|(k, e)| Self::meta(*k, e))
@@ -639,54 +651,76 @@ mod tests {
         let _ = PageCache::new(0);
     }
 
+    // Randomized reference tests driven by the deterministic `SimRng`
+    // (the workspace builds offline, with no proptest dep).
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use sim_core::SimRng;
 
-        proptest! {
-            /// The cache never exceeds capacity, and LRU bookkeeping
-            /// stays consistent under arbitrary operation sequences.
-            #[test]
-            fn capacity_and_consistency(
-                cap in 1usize..8,
-                ops in prop::collection::vec((0u8..5, 0u64..6, 0u64..4), 0..200),
-            ) {
+        /// The cache never exceeds capacity, and LRU bookkeeping
+        /// stays consistent under arbitrary operation sequences.
+        #[test]
+        fn capacity_and_consistency() {
+            for case in 0..64u64 {
+                let mut rng = SimRng::new(0xCAC4E ^ case);
+                let cap = rng.gen_range(1, 8) as usize;
                 let mut c = PageCache::new(cap);
-                for (op, ino, idx) in ops {
+                for _ in 0..rng.gen_range(0, 200) {
+                    let op = rng.gen_range(0, 5);
+                    let ino = rng.gen_range(0, 6);
+                    let idx = rng.gen_range(0, 4);
                     let k = key(ino, idx);
                     match op {
-                        0 => { c.insert(k, None, false); }
-                        1 => { c.insert(k, Some(BlockNr(ino * 10 + idx)), true); }
-                        2 => { c.lookup(k); }
-                        3 => { c.mark_dirty(k); }
-                        _ => { c.remove(k); }
+                        0 => {
+                            c.insert(k, None, false);
+                        }
+                        1 => {
+                            c.insert(k, Some(BlockNr(ino * 10 + idx)), true);
+                        }
+                        2 => {
+                            c.lookup(k);
+                        }
+                        3 => {
+                            c.mark_dirty(k);
+                        }
+                        _ => {
+                            c.remove(k);
+                        }
                     }
-                    prop_assert!(c.len() <= cap);
-                    prop_assert_eq!(c.iter().count(), c.len());
+                    assert!(c.len() <= cap);
+                    assert_eq!(c.iter().count(), c.len());
                     // The O(1) per-inode counter agrees with a scan.
                     let scan = c.iter().filter(|m| m.key.ino == InodeNr(ino)).count();
-                    prop_assert_eq!(c.pages_of(InodeNr(ino)), scan);
-                    prop_assert_eq!(c.pages_of_file(InodeNr(ino)).len(), scan);
+                    assert_eq!(c.pages_of(InodeNr(ino)), scan);
+                    assert_eq!(c.pages_of_file(InodeNr(ino)).len(), scan);
                 }
             }
+        }
 
-            /// Every Added event is eventually balanced by a Removed
-            /// event or a still-resident page.
-            #[test]
-            fn added_minus_removed_equals_resident(
-                ops in prop::collection::vec((0u8..2, 0u64..4, 0u64..4), 0..100),
-            ) {
+        /// Every Added event is eventually balanced by a Removed
+        /// event or a still-resident page.
+        #[test]
+        fn added_minus_removed_equals_resident() {
+            for case in 0..64u64 {
+                let mut rng = SimRng::new(0xADD ^ case);
                 let mut c = PageCache::new(3);
-                for (op, ino, idx) in ops {
+                for _ in 0..rng.gen_range(0, 100) {
+                    let op = rng.gen_range(0, 2);
+                    let ino = rng.gen_range(0, 4);
+                    let idx = rng.gen_range(0, 4);
                     match op {
-                        0 => { c.insert(key(ino, idx), None, false); }
-                        _ => { c.remove(key(ino, idx)); }
+                        0 => {
+                            c.insert(key(ino, idx), None, false);
+                        }
+                        _ => {
+                            c.remove(key(ino, idx));
+                        }
                     }
                 }
                 let evs = c.drain_events();
                 let added = evs.iter().filter(|(_, e)| *e == PageEvent::Added).count();
                 let removed = evs.iter().filter(|(_, e)| *e == PageEvent::Removed).count();
-                prop_assert_eq!(added - removed, c.len());
+                assert_eq!(added - removed, c.len());
             }
         }
     }

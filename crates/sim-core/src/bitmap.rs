@@ -280,49 +280,58 @@ mod tests {
         assert_eq!(bm.iter().count(), 0);
     }
 
+    // Randomized reference tests driven by the crate's own deterministic
+    // generator (the workspace builds offline, with no proptest dep).
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use crate::rng::SimRng;
         use std::collections::BTreeSet;
 
-        proptest! {
-            /// The sparse bitmap behaves exactly like a set of integers.
-            #[test]
-            fn matches_reference_set(ops in prop::collection::vec(
-                (0u8..3, 0u64..200_000), 0..400)) {
+        /// The sparse bitmap behaves exactly like a set of integers.
+        #[test]
+        fn matches_reference_set() {
+            for case in 0..64u64 {
+                let mut rng = SimRng::new(0xB17 ^ case);
                 let mut bm = SparseBitmap::new();
                 let mut set = BTreeSet::new();
-                for (op, idx) in ops {
+                for _ in 0..rng.gen_range(0, 400) {
+                    let op = rng.gen_range(0, 3);
+                    let idx = rng.gen_range(0, 200_000);
                     match op {
                         0 => {
-                            prop_assert_eq!(bm.set(idx), set.insert(idx));
+                            assert_eq!(bm.set(idx), set.insert(idx));
                         }
                         1 => {
-                            prop_assert_eq!(bm.clear(idx), set.remove(&idx));
+                            assert_eq!(bm.clear(idx), set.remove(&idx));
                         }
                         _ => {
-                            prop_assert_eq!(bm.test(idx), set.contains(&idx));
+                            assert_eq!(bm.test(idx), set.contains(&idx));
                         }
                     }
-                    prop_assert_eq!(bm.count(), set.len() as u64);
+                    assert_eq!(bm.count(), set.len() as u64);
                 }
                 let a: Vec<u64> = bm.iter().collect();
                 let b: Vec<u64> = set.iter().copied().collect();
-                prop_assert_eq!(a, b);
+                assert_eq!(a, b);
             }
+        }
 
-            /// `next_set` agrees with the reference set's range query.
-            #[test]
-            fn next_set_matches_reference(
-                bits in prop::collection::btree_set(0u64..100_000, 0..100),
-                query in 0u64..100_000,
-            ) {
+        /// `next_set` agrees with the reference set's range query.
+        #[test]
+        fn next_set_matches_reference() {
+            for case in 0..128u64 {
+                let mut rng = SimRng::new(0x4E57 ^ case);
+                let mut bits = BTreeSet::new();
+                for _ in 0..rng.gen_range(0, 100) {
+                    bits.insert(rng.gen_range(0, 100_000));
+                }
+                let query = rng.gen_range(0, 100_000);
                 let mut bm = SparseBitmap::new();
                 for &b in &bits {
                     bm.set(b);
                 }
                 let expected = bits.range(query..).next().copied();
-                prop_assert_eq!(bm.next_set(query), expected);
+                assert_eq!(bm.next_set(query), expected);
             }
         }
     }

@@ -116,7 +116,7 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
         return f64::NAN;
     }
     let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;

@@ -30,7 +30,7 @@ use sim_core::{
     PAGE_SIZE, //
 };
 use sim_disk::{Disk, IoClass, IoKind, IoRequest};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// I/O accounting for one operation (mirror of the Btrfs-side struct,
 /// kept separate so the crates stay independent).
@@ -107,8 +107,8 @@ pub struct F2fsSim {
     /// Per-block owner (ino, page), NO_OWNER if invalid.
     owner_ino: Vec<u64>,
     owner_idx: Vec<u64>,
-    inodes: HashMap<InodeNr, F2fsInode>,
-    names: HashMap<String, InodeNr>,
+    inodes: BTreeMap<InodeNr, F2fsInode>,
+    names: BTreeMap<String, InodeNr>,
     next_ino: u64,
     /// Log head: segment and next offset within it.
     head_seg: SegmentNr,
@@ -130,7 +130,7 @@ impl F2fsSim {
     pub fn new(device: DeviceId, disk: Disk, cache_pages: usize, seg_blocks: u64) -> Self {
         let capacity = disk.capacity_blocks();
         assert!(
-            seg_blocks > 0 && capacity % seg_blocks == 0 && capacity > 0,
+            seg_blocks > 0 && capacity.is_multiple_of(seg_blocks) && capacity > 0,
             "capacity {capacity} must be a positive multiple of segment size {seg_blocks}"
         );
         let nsegs = (capacity / seg_blocks) as u32;
@@ -144,8 +144,8 @@ impl F2fsSim {
             valid: vec![false; capacity as usize],
             owner_ino: vec![NO_OWNER; capacity as usize],
             owner_idx: vec![0; capacity as usize],
-            inodes: HashMap::new(),
-            names: HashMap::new(),
+            inodes: BTreeMap::new(),
+            names: BTreeMap::new(),
             next_ino: 1,
             head_seg: SegmentNr(0),
             head_off: 0,
@@ -239,11 +239,9 @@ impl F2fsSim {
         let start = segment_start(seg, self.seg_blocks).raw();
         (start..start + self.seg_blocks)
             .filter(|&b| self.valid[b as usize])
-            .map(|b| {
-                let (ino, idx) = self
-                    .owner_of(BlockNr(b))
-                    .expect("valid block without owner");
-                (BlockNr(b), ino, idx)
+            .filter_map(|b| {
+                let (ino, idx) = self.owner_of(BlockNr(b))?;
+                Some((BlockNr(b), ino, idx))
             })
             .collect()
     }
@@ -430,7 +428,7 @@ impl F2fsSim {
             if node.map.len() <= i {
                 node.map.resize(i + 1, None);
             }
-            std::mem::replace(&mut node.map[i], Some(new_block))
+            node.map[i].replace(new_block)
         };
         if let Some(old_b) = old {
             self.invalidate(old_b);

@@ -104,7 +104,7 @@ impl FileSelector {
 /// the quantity Figure 1 plots. Weights need not be normalized.
 pub fn cdf_at(weights: &[f64], top_frac: f64) -> f64 {
     let mut sorted: Vec<f64> = weights.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("NaN weight"));
+    sorted.sort_by(|a, b| b.total_cmp(a));
     let total: f64 = sorted.iter().sum();
     let k = ((sorted.len() as f64 * top_frac).round() as usize).min(sorted.len());
     let top: f64 = sorted[..k].iter().sum();
@@ -145,7 +145,7 @@ mod tests {
     fn uniform_selector_covers_all_files() {
         let mut rng = SimRng::new(1);
         let sel = FileSelector::new(DistKind::Uniform, 50, &mut rng);
-        let mut seen = vec![false; 50];
+        let mut seen = [false; 50];
         for _ in 0..5_000 {
             seen[sel.pick(&mut rng)] = true;
         }

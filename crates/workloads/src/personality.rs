@@ -136,7 +136,10 @@ impl Personality {
             }
             x -= w;
         }
-        mix.last().expect("non-empty mix").0
+        match mix.last() {
+            Some(&(op, _)) => op,
+            None => WorkloadOp::ReadWholeFile,
+        }
     }
 }
 

@@ -183,12 +183,14 @@ impl TracePlayer {
     ///
     /// # Panics
     ///
-    /// Panics if the trace is exhausted or [`TracePlayer::setup`] was
-    /// not called.
+    /// Fails if [`TracePlayer::setup`] was not called; panics if the
+    /// trace is exhausted.
     pub fn run_op(&mut self, fs: &mut dyn WorkloadFs, now: SimInstant) -> SimResult<SimInstant> {
         let (_, op) = self.trace.ops[self.cursor];
         self.cursor += 1;
-        let log = self.log_ino.expect("setup not called");
+        let log = self
+            .log_ino
+            .ok_or(SimError::InvalidArgument("trace player not set up".into()))?;
         match op {
             TraceOp::Read { file } => {
                 let ino = self.handles[file];

@@ -1,0 +1,356 @@
+//! A minimal Rust lexer: just enough to separate identifiers,
+//! punctuation and comments from string/char literal noise, with line
+//! numbers.
+//!
+//! The lint pass only needs to answer questions like "does the token
+//! `unwrap` followed by `(` appear outside test code?" — so the lexer
+//! does not classify keywords, numbers or operators precisely. It does
+//! handle the parts that would otherwise produce false positives:
+//! line and (nested) block comments, string literals, raw strings,
+//! byte strings, char literals vs. lifetimes, and raw identifiers.
+
+/// One significant token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token text. Identifiers keep their name; every punctuation
+    /// character is its own one-char token; literals collapse to `"&str"`
+    /// / `'c'` placeholders so rule patterns can never match inside them.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A comment, kept separately for waiver detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// Lexer output: significant tokens plus the comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Never fails: unterminated constructs simply consume
+/// the rest of the input (the compiler is the authority on syntax — the
+/// linter only runs on code that already builds).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && b[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = b[start..j].iter().collect();
+                out.comments.push(Comment {
+                    text: text.trim_start_matches(['/', '!']).trim().to_string(),
+                    line,
+                });
+                i = j;
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1;
+                let mut j = start;
+                while j < n && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                let text: String = b[start..end].iter().collect();
+                out.comments.push(Comment {
+                    text: text.trim_start_matches(['*', '!']).trim().to_string(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            '"' => {
+                i = skip_string(&b, i, &mut line);
+                out.tokens.push(Token {
+                    text: "\"&str\"".into(),
+                    line,
+                });
+            }
+            'r' | 'b' if is_raw_or_byte_string(&b, i) => {
+                let tok_line = line;
+                i = skip_raw_or_byte_string(&b, i, &mut line);
+                out.tokens.push(Token {
+                    text: "\"&str\"".into(),
+                    line: tok_line,
+                });
+            }
+            '\'' => {
+                // Lifetime (`'a`) or char literal (`'a'`, `'\n'`)?
+                if is_lifetime(&b, i) {
+                    let mut j = i + 1;
+                    while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        text: b[i..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    i = skip_char_literal(&b, i);
+                    out.tokens.push(Token {
+                        text: "'c'".into(),
+                        line,
+                    });
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut j = i;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                let mut text: String = b[i..j].iter().collect();
+                // Raw identifiers: `r#match` lexes as `r` `#` `match`
+                // otherwise; fold the prefix in.
+                if text == "r"
+                    && j + 1 < n
+                    && b[j] == '#'
+                    && (b[j + 1].is_alphabetic() || b[j + 1] == '_')
+                {
+                    let mut k = j + 1;
+                    while k < n && (b[k].is_alphanumeric() || b[k] == '_') {
+                        k += 1;
+                    }
+                    text = b[j + 1..k].iter().collect();
+                    j = k;
+                }
+                out.tokens.push(Token { text, line });
+                i = j;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Past-the-end index of a `"..."` string starting at `i`.
+fn skip_string(b: &[char], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Is the `r`/`b` at `i` the start of a raw/byte string (`r"`, `r#"`,
+/// `b"`, `br"`, `rb...` variants)?
+fn is_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    // Up to two prefix letters out of {r, b}.
+    let mut letters = 0;
+    while j < b.len() && (b[j] == 'r' || b[j] == 'b') && letters < 2 {
+        j += 1;
+        letters += 1;
+    }
+    // Then optional hashes (raw only) and a quote.
+    let hashed = j < b.len() && b[j] == '#';
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    let quote = j < b.len() && b[j] == '"';
+    // `b'x'` byte char also counts as a literal to skip.
+    let byte_char = letters == 1 && b[i] == 'b' && j < b.len() && b[j] == '\'';
+    quote && (hashed || letters > 0) || byte_char
+}
+
+/// Past-the-end index of the raw/byte string (or byte char) at `i`.
+fn skip_raw_or_byte_string(b: &[char], i: usize, line: &mut u32) -> usize {
+    let mut j = i;
+    while j < b.len() && (b[j] == 'r' || b[j] == 'b') {
+        j += 1;
+    }
+    let mut hashes = 0;
+    while j < b.len() && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < b.len() && b[j] == '\'' {
+        return skip_char_literal(b, j);
+    }
+    if j >= b.len() || b[j] != '"' {
+        return j;
+    }
+    j += 1; // opening quote
+    let raw = hashes > 0 || b[i] == 'r' || (b[i] == 'b' && b[i + 1] == 'r');
+    while j < b.len() {
+        match b[j] {
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '\\' if !raw => j += 2,
+            '"' => {
+                let mut k = j + 1;
+                let mut seen = 0;
+                while k < b.len() && b[k] == '#' && seen < hashes {
+                    k += 1;
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return k;
+                }
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Is the `'` at `i` a lifetime rather than a char literal?
+fn is_lifetime(b: &[char], i: usize) -> bool {
+    let Some(&c1) = b.get(i + 1) else {
+        return false;
+    };
+    if !(c1.is_alphabetic() || c1 == '_') {
+        return false; // `'\n'`, `'('` etc. are char literals
+    }
+    // `'a'` is a char literal; `'a,`/`'a>`/`'a ` are lifetimes.
+    // Multi-char like `'static` is always a lifetime.
+    b.get(i + 2) != Some(&'\'')
+}
+
+/// Past-the-end index of the char literal at `i`.
+fn skip_char_literal(b: &[char], i: usize) -> usize {
+    let mut j = i + 1;
+    if j < b.len() && b[j] == '\'' {
+        // `b''`? malformed; step past.
+        return j + 1;
+    }
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '\'' => return j + 1,
+            '\n' => return j, // malformed; bail at line end
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        assert_eq!(
+            texts("foo.unwrap();"),
+            vec!["foo", ".", "unwrap", "(", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        assert_eq!(
+            texts(r#"let s = "HashMap.unwrap()";"#),
+            vec!["let", "s", "=", "\"&str\"", ";"]
+        );
+        assert_eq!(
+            texts(r###"let s = r#"panic!("x")"#;"###),
+            vec!["let", "s", "=", "\"&str\"", ";"]
+        );
+        assert_eq!(
+            texts(r#"let b = b"unwrap";"#),
+            vec!["let", "b", "=", "\"&str\"", ";"]
+        );
+    }
+
+    #[test]
+    fn chars_and_lifetimes() {
+        assert_eq!(
+            texts("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }"),
+            vec![
+                "fn", "f", "<", "'a", ">", "(", "x", ":", "&", "'a", "str", ")", "{", "let", "c",
+                "=", "'c'", ";", "let", "e", "=", "'c'", ";", "}"
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let l = lex("let x = 1; // lint: sorted\n/* unwrap() */ let y = 2;");
+        let toks: Vec<&str> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(!toks.contains(&"unwrap"));
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].text, "lint: sorted");
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].text, "unwrap()");
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* b */ c */ token");
+        assert_eq!(l.tokens.len(), 1);
+        assert_eq!(l.tokens[0].text, "token");
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let l = lex("a\nb\n\"multi\nline\"\nc");
+        let lines: Vec<(String, u32)> = l.tokens.into_iter().map(|t| (t.text, t.line)).collect();
+        assert_eq!(lines[0], ("a".into(), 1));
+        assert_eq!(lines[1], ("b".into(), 2));
+        assert_eq!(lines[3], ("c".into(), 5));
+    }
+
+    #[test]
+    fn raw_identifiers_fold() {
+        assert_eq!(texts("let r#type = 1;"), vec!["let", "type", "=", "1", ";"]);
+    }
+}

@@ -1,0 +1,9 @@
+//! Workspace tooling for the Duet reproduction.
+//!
+//! The only subcommand today is `lint`, a zero-dependency static
+//! analysis pass enforcing the project's determinism and panic-safety
+//! rules (D1–D4). See `rules` for the rule table and DESIGN.md's
+//! "Determinism & lint policy" section for the rationale.
+
+pub mod lexer;
+pub mod rules;

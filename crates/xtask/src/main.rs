@@ -1,0 +1,66 @@
+//! `cargo run -p xtask -- lint`: the determinism & panic-safety lint.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xtask::rules::run_lint;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask → workspace root. CARGO_MANIFEST_DIR is compiled in,
+    // so the lint works from any working directory.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {}
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!();
+            eprintln!("Checks the workspace against the determinism rules:");
+            eprintln!("  D1  no wall clock (Instant/SystemTime) — virtual clock only");
+            eprintln!(
+                "  D2  no HashMap/HashSet iteration-order leaks — BTree* or `// lint: sorted`"
+            );
+            eprintln!("  D3  no unwrap/expect/panic!/todo! in library code");
+            eprintln!("  D4  no ambient state (static mut, thread::spawn, process::exit)");
+            eprintln!();
+            eprintln!("Waivers: inline `// lint: allow(Dn): reason`, or crates/xtask/lint.allow.");
+            return ExitCode::from(2);
+        }
+    }
+    let root = workspace_root();
+    match run_lint(&root) {
+        Ok(report) => {
+            for w in &report.warnings {
+                eprintln!("warning: {w}");
+            }
+            if report.violations.is_empty() {
+                println!(
+                    "xtask lint: OK ({} files checked, {} warnings)",
+                    report.files_checked,
+                    report.warnings.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                for v in &report.violations {
+                    println!("{v}");
+                }
+                println!(
+                    "xtask lint: {} violation(s) in {} files checked",
+                    report.violations.len(),
+                    report.files_checked
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

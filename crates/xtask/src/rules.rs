@@ -1,0 +1,483 @@
+//! The determinism & panic-safety rules (D1–D4) and the workspace
+//! walker that applies them.
+//!
+//! | id | rule | scope |
+//! |----|------|-------|
+//! | D1 | no wall clock (`Instant::now`, `SystemTime`, `std::time`) — virtual `sim_core::clock` only | every crate except `xtask` |
+//! | D2 | no `HashMap`/`HashSet` where iteration order can leak into event delivery or results — `BTreeMap`/`BTreeSet`, or waive with `// lint: sorted` | sim/framework/experiment crates |
+//! | D3 | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in library code — route through `sim_core::error` | sim/framework/experiment crates |
+//! | D4 | no ambient state: `static mut`, `thread::spawn`, `process::exit` | sim/framework/experiment crates |
+//!
+//! Test code is exempt everywhere: `#[cfg(test)]` / `#[test]` items,
+//! `*_tests.rs` files, and anything under `tests/`, `benches/` or
+//! `examples/`. Individual violations can be waived inline
+//! (`// lint: sorted` for D2, `// lint: allow(Dn): reason` for any
+//! rule, on the same or preceding line) or centrally in
+//! `crates/xtask/lint.allow`.
+
+use crate::lexer::{lex, Comment, Lexed};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Rule identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// No wall-clock time sources.
+    D1,
+    /// Deterministic iteration: no hash-ordered collections.
+    D2,
+    /// No panics in library code.
+    D3,
+    /// No ambient state (mutable statics, threads, process exit).
+    D4,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rule::D1 => write!(f, "D1"),
+            Rule::D2 => write!(f, "D2"),
+            Rule::D3 => write!(f, "D3"),
+            Rule::D4 => write!(f, "D4"),
+        }
+    }
+}
+
+impl Rule {
+    fn parse(s: &str) -> Option<Rule> {
+        match s {
+            "D1" => Some(Rule::D1),
+            "D2" => Some(Rule::D2),
+            "D3" => Some(Rule::D3),
+            "D4" => Some(Rule::D4),
+            _ => None,
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: Rule,
+    /// Repo-relative path.
+    pub path: String,
+    pub line: u32,
+    /// The offending token or token sequence.
+    pub token: String,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Which rules apply to a file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleSet {
+    pub d1: bool,
+    pub d2: bool,
+    pub d3: bool,
+    pub d4: bool,
+}
+
+impl RuleSet {
+    /// All four rules (the sim/framework/experiment crates).
+    pub const FULL: RuleSet = RuleSet {
+        d1: true,
+        d2: true,
+        d3: true,
+        d4: true,
+    };
+    /// Only the wall-clock rule (the bench harness).
+    pub const D1_ONLY: RuleSet = RuleSet {
+        d1: true,
+        d2: false,
+        d3: false,
+        d4: false,
+    };
+    pub fn is_empty(&self) -> bool {
+        !(self.d1 || self.d2 || self.d3 || self.d4)
+    }
+}
+
+/// Crates whose library code is fully in scope: the simulation
+/// substrate, the framework, the tasks and the evaluation harness.
+const FULL_SCOPE_PREFIXES: &[&str] = &[
+    "crates/sim-core/src/",
+    "crates/sim-disk/src/",
+    "crates/sim-cache/src/",
+    "crates/sim-btrfs/src/",
+    "crates/sim-f2fs/src/",
+    "crates/core/src/",
+    "crates/duet-tasks/src/",
+    "crates/workloads/src/",
+    "crates/experiments/src/",
+    "src/",
+];
+
+/// Classifies a repo-relative path. `None` means the file is out of
+/// scope (tooling, tests, benches, examples, fixtures).
+pub fn classify(rel: &str) -> Option<RuleSet> {
+    let rel = rel.replace('\\', "/");
+    // Test-only code is exempt from every rule.
+    if rel.starts_with("tests/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.starts_with("examples/")
+        || rel.contains("/examples/")
+        || rel.contains("/fixtures/")
+        || rel.ends_with("_tests.rs")
+    {
+        return None;
+    }
+    // The linter itself (and its fixtures) are out of scope.
+    if rel.starts_with("crates/xtask/") {
+        return None;
+    }
+    if FULL_SCOPE_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+        return Some(RuleSet::FULL);
+    }
+    // The bench harness runs real experiments and may panic freely, but
+    // must not smuggle wall-clock time into simulated results.
+    if rel.starts_with("crates/bench/src/") {
+        return Some(RuleSet::D1_ONLY);
+    }
+    None
+}
+
+/// One entry of `crates/xtask/lint.allow`:
+/// `RULE PATH TOKEN  # justification` (TOKEN may be `*`).
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub rule: Rule,
+    pub path: String,
+    pub token: String,
+    pub justification: String,
+    pub used: std::cell::Cell<bool>,
+}
+
+/// Parses the allowlist. Returns `Err` with a message on malformed
+/// lines (missing fields or missing justification).
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut out = Vec::new();
+    for (nr, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (spec, justification) = line
+            .split_once('#')
+            .ok_or(format!("lint.allow:{}: missing `# justification`", nr + 1))?;
+        let justification = justification.trim();
+        if justification.is_empty() {
+            return Err(format!("lint.allow:{}: empty justification", nr + 1));
+        }
+        let fields: Vec<&str> = spec.split_whitespace().collect();
+        let [rule, path, token] = fields[..] else {
+            return Err(format!(
+                "lint.allow:{}: expected `RULE PATH TOKEN # justification`",
+                nr + 1
+            ));
+        };
+        let rule =
+            Rule::parse(rule).ok_or(format!("lint.allow:{}: unknown rule `{rule}`", nr + 1))?;
+        out.push(AllowEntry {
+            rule,
+            path: path.to_string(),
+            token: token.to_string(),
+            justification: justification.to_string(),
+            used: std::cell::Cell::new(false),
+        });
+    }
+    Ok(out)
+}
+
+/// Index ranges of tokens that belong to `#[cfg(test)]` / `#[test]`
+/// items (attribute through end of the item body).
+fn test_ranges(lx: &Lexed) -> Vec<(usize, usize)> {
+    let t = &lx.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < t.len() {
+        if t[i].text != "#" || i + 1 >= t.len() || t[i + 1].text != "[" {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's tokens up to the matching `]`.
+        let attr_start = i;
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut attr: Vec<&str> = Vec::new();
+        while j < t.len() {
+            match t[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                s => attr.push(s),
+            }
+            j += 1;
+        }
+        let is_test_attr = matches!(attr.first().copied(), Some("test"))
+            || (attr.first() == Some(&"cfg") && attr.contains(&"test"));
+        if !is_test_attr {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes, then the item itself: through the
+        // first top-level `;` (no body) or the matching `}` of its body.
+        let mut k = j + 1;
+        while k + 1 < t.len() && t[k].text == "#" && t[k + 1].text == "[" {
+            let mut d = 0usize;
+            k += 1;
+            while k < t.len() {
+                match t[k].text.as_str() {
+                    "[" => d += 1,
+                    "]" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        let mut brace = 0usize;
+        let mut end = k;
+        while end < t.len() {
+            match t[end].text.as_str() {
+                ";" if brace == 0 => break,
+                "{" => brace += 1,
+                "}" => {
+                    brace -= 1;
+                    if brace == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        out.push((attr_start, end));
+        i = end + 1;
+    }
+    out
+}
+
+/// Does any waiver comment cover `line` for `rule`? Waivers sit on the
+/// violation's line or the line directly above.
+fn waived(comments: &[Comment], rule: Rule, line: u32) -> bool {
+    comments.iter().any(|c| {
+        (c.line == line || c.line + 1 == line)
+            && (c.text.contains(&format!("lint: allow({rule})"))
+                || (rule == Rule::D2 && c.text.contains("lint: sorted")))
+    })
+}
+
+/// Lints one file's source text. `rel` is the repo-relative path used
+/// in reports and allowlist matching.
+pub fn lint_source(rel: &str, src: &str, rules: RuleSet, allow: &[AllowEntry]) -> Vec<Violation> {
+    let lx = lex(src);
+    let skip = test_ranges(&lx);
+    let in_test = |idx: usize| skip.iter().any(|&(a, b)| idx >= a && idx <= b);
+    let t = &lx.tokens;
+    let mut raw: Vec<(usize, Rule, String, String)> = Vec::new();
+
+    let tok = |i: usize| t.get(i).map(|x| x.text.as_str()).unwrap_or("");
+    for (i, token) in t.iter().enumerate() {
+        let s = token.text.as_str();
+        if rules.d1 {
+            match s {
+                "SystemTime" | "UNIX_EPOCH" => raw.push((
+                    i,
+                    Rule::D1,
+                    s.into(),
+                    format!("wall-clock `{s}` — use the virtual clock (`sim_core::clock`)"),
+                )),
+                "Instant" => raw.push((
+                    i,
+                    Rule::D1,
+                    s.into(),
+                    "wall-clock `std::time::Instant` — use `sim_core::SimInstant`".into(),
+                )),
+                "std" if tok(i + 1) == ":" && tok(i + 3) == "time" => raw.push((
+                    i,
+                    Rule::D1,
+                    "std::time".into(),
+                    "wall-clock `std::time` import — use the virtual clock (`sim_core::clock`)"
+                        .into(),
+                )),
+                _ => {}
+            }
+        }
+        if rules.d2 && (s == "HashMap" || s == "HashSet") {
+            raw.push((
+                i,
+                Rule::D2,
+                s.into(),
+                format!(
+                    "hash-ordered `{s}` can leak iteration order into events/results — use \
+                     `BTree{}` or waive with `// lint: sorted`",
+                    &s[4..]
+                ),
+            ));
+        }
+        if rules.d3 {
+            match s {
+                "unwrap" | "expect" if tok(i.wrapping_sub(1)) == "." && tok(i + 1) == "(" => {
+                    raw.push((
+                        i,
+                        Rule::D3,
+                        s.into(),
+                        format!("`.{s}()` in library code — return `sim_core::SimResult` instead"),
+                    ));
+                }
+                "panic" | "todo" | "unimplemented" if tok(i + 1) == "!" => {
+                    raw.push((
+                        i,
+                        Rule::D3,
+                        format!("{s}!"),
+                        format!("`{s}!` in library code — return `sim_core::SimResult` instead"),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        if rules.d4 {
+            match s {
+                "static" if tok(i + 1) == "mut" => raw.push((
+                    i,
+                    Rule::D4,
+                    "static mut".into(),
+                    "`static mut` is ambient state — thread configuration through constructors"
+                        .into(),
+                )),
+                "thread" if tok(i + 1) == ":" && tok(i + 3) == "spawn" => raw.push((
+                    i,
+                    Rule::D4,
+                    "thread::spawn".into(),
+                    "`thread::spawn` in simulation code breaks determinism".into(),
+                )),
+                "process" if tok(i + 1) == ":" && tok(i + 3) == "exit" => raw.push((
+                    i,
+                    Rule::D4,
+                    "process::exit".into(),
+                    "`process::exit` bypasses unwinding — return an error instead".into(),
+                )),
+                _ => {}
+            }
+        }
+    }
+
+    raw.into_iter()
+        .filter(|(idx, _, _, _)| !in_test(*idx))
+        .filter(|(idx, rule, token, _)| {
+            let line = t[*idx].line;
+            if waived(&lx.comments, *rule, line) {
+                return false;
+            }
+            let allowed = allow
+                .iter()
+                .any(|a| a.rule == *rule && a.path == rel && (a.token == "*" || &a.token == token));
+            if allowed {
+                for a in allow {
+                    if a.rule == *rule && a.path == rel && (a.token == "*" || &a.token == token) {
+                        a.used.set(true);
+                    }
+                }
+            }
+            !allowed
+        })
+        .map(|(idx, rule, token, message)| Violation {
+            rule,
+            path: rel.to_string(),
+            line: t[idx].line,
+            token,
+            message,
+        })
+        .collect()
+}
+
+/// Recursively collects `.rs` files under `dir` (sorted for stable
+/// output), skipping VCS/build artefacts.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if matches!(name, "target" | ".git" | "results") {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of a full lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    pub violations: Vec<Violation>,
+    /// Non-fatal notes (stale allowlist entries).
+    pub warnings: Vec<String>,
+    /// Files actually linted.
+    pub files_checked: usize,
+}
+
+/// Lints the whole workspace rooted at `root`.
+pub fn run_lint(root: &Path) -> Result<LintReport, String> {
+    let allow_path = root.join("crates/xtask/lint.allow");
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => parse_allowlist(&text)?,
+        Err(_) => Vec::new(),
+    };
+    let mut files = Vec::new();
+    collect_rs(root, &mut files).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut report = LintReport::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(rules) = classify(&rel) else {
+            continue;
+        };
+        if rules.is_empty() {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("reading {rel}: {e}"))?;
+        report.files_checked += 1;
+        report
+            .violations
+            .extend(lint_source(&rel, &src, rules, &allow));
+    }
+    for a in &allow {
+        if !a.used.get() {
+            report.warnings.push(format!(
+                "lint.allow: stale entry `{} {} {}` (no longer matches anything)",
+                a.rule, a.path, a.token
+            ));
+        }
+    }
+    Ok(report)
+}

@@ -1,0 +1,30 @@
+// Fixture: fully compliant library code — zero violations expected.
+// Strings, comments and test code must not trigger false positives.
+use std::collections::BTreeMap;
+
+/// Doc comments mentioning unwrap() or HashMap are fine.
+pub fn total(m: &BTreeMap<u64, u64>) -> Option<u64> {
+    let note = "call .unwrap() on a HashMap at Instant::now()"; // string, not code
+    let _ = note;
+    m.values().copied().reduce(|a, b| a.checked_add(b))?.into()
+}
+
+// An explicitly waived hash map: lookups only, never iterated.
+// lint: sorted
+pub type WaivedIndex = std::collections::HashMap<u64, u64>;
+
+// A waived panic with a reason.
+pub fn infallible() -> u64 {
+    // lint: allow(D3): constant input, cannot fail
+    "7".parse::<u64>().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_and_hash() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u64, 2u64);
+        assert_eq!(*m.get(&1).unwrap(), 2);
+    }
+}

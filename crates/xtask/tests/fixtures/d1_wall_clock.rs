@@ -1,0 +1,8 @@
+// Fixture: every line here must trip D1 (wall-clock time sources).
+use std::time::Instant;
+
+pub fn elapsed_ms() -> u128 {
+    let t0 = Instant::now();
+    let _ = std::time::SystemTime::now();
+    t0.elapsed().as_millis()
+}

@@ -1,0 +1,12 @@
+// Fixture: hash-ordered collections in a results-producing path (D2).
+use std::collections::{HashMap, HashSet};
+
+pub fn emit_csv(rows: &HashMap<u64, f64>, seen: &HashSet<u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in rows {
+        if seen.contains(k) {
+            out.push_str(&format!("{k},{v}\n"));
+        }
+    }
+    out
+}

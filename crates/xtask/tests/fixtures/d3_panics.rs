@@ -1,0 +1,12 @@
+// Fixture: panic paths in library code (D3).
+pub fn lookup(v: &[u64], i: usize) -> u64 {
+    if i > v.len() {
+        panic!("out of range");
+    }
+    let first = v.first().unwrap();
+    let last = v.last().expect("nonempty");
+    if *first > *last {
+        todo!();
+    }
+    v[i]
+}

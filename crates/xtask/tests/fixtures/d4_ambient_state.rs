@@ -1,0 +1,7 @@
+// Fixture: ambient state in simulation code (D4).
+static mut COUNTER: u64 = 0;
+
+pub fn run() {
+    std::thread::spawn(|| {});
+    std::process::exit(1);
+}

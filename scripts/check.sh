@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally and fully offline (the workspace
+# has no external dependencies, so no registry access is needed).
+#
+#   fmt --check  →  clippy -D warnings  →  xtask lint  →  cargo test
+#
+# Each step must pass before the next runs; the script exits non-zero
+# on the first failure.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo run -p xtask -- lint"
+cargo run -q -p xtask -- lint
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "==> all checks passed"

@@ -1,0 +1,130 @@
+//! Golden determinism tests: the simulation is a pure function of its
+//! configuration. Running the same preset twice must produce
+//! byte-identical results — the property the D1/D2/D4 lint rules
+//! (`cargo run -p xtask -- lint`) exist to protect.
+
+use duet_repro::experiments::{
+    paper_scaled, run_experiment, run_rsync_experiment, ExperimentResult, TaskKind,
+};
+use duet_repro::workloads::{DistKind, Personality};
+
+/// Serializes every observable field of a result, exactly. Floats are
+/// rendered from their bit patterns so the comparison cannot be fooled
+/// by display rounding.
+fn golden_csv(r: &ExperimentResult) -> String {
+    let mut out = String::new();
+    out.push_str("field,value\n");
+    out.push_str(&format!("duration,{:?}\n", r.duration));
+    out.push_str(&format!(
+        "achieved_util,{:016x}\n",
+        r.achieved_util.to_bits()
+    ));
+    out.push_str(&format!("workload_ops,{}\n", r.workload_ops));
+    out.push_str(&format!("maintenance_blocks,{}\n", r.maintenance_blocks));
+    out.push_str(&format!("maintenance_busy,{:?}\n", r.maintenance_busy));
+    out.push_str(&format!("foreground_blocks,{}\n", r.foreground_blocks));
+    out.push_str(&format!(
+        "workload_latency_ms,{:016x},{:016x}\n",
+        r.workload_latency_ms.0.to_bits(),
+        r.workload_latency_ms.1.to_bits()
+    ));
+    out.push_str(&format!("duet_peak_memory,{}\n", r.duet_peak_memory));
+    if let Some(s) = &r.duet_stats {
+        out.push_str(&format!(
+            "duet_stats,{},{},{},{},{}\n",
+            s.events_processed,
+            s.events_dropped,
+            s.fetch_calls,
+            s.items_fetched,
+            s.peak_descriptors
+        ));
+    }
+    for t in &r.tasks {
+        out.push_str(&format!(
+            "task,{},{},{},{},{},{},{},{:?}\n",
+            t.name,
+            t.metrics.total_units,
+            t.metrics.done_units,
+            t.metrics.saved_units,
+            t.metrics.blocks_read,
+            t.metrics.blocks_written,
+            t.completed,
+            t.completion_time
+        ));
+    }
+    out
+}
+
+/// The same preset, run twice, must emit a byte-identical golden CSV —
+/// including float bit patterns, event counters and per-task I/O.
+#[test]
+fn experiment_preset_is_byte_identical_across_runs() {
+    let cfg = || {
+        let mut c = paper_scaled(
+            512,
+            Personality::WebServer,
+            DistKind::MsTrace(0),
+            1.0,
+            0.4,
+            vec![TaskKind::Scrub, TaskKind::Backup],
+            true,
+        );
+        c.seed = 7;
+        c
+    };
+    let first = golden_csv(&run_experiment(&cfg()).expect("first run"));
+    let second = golden_csv(&run_experiment(&cfg()).expect("second run"));
+    assert!(!first.is_empty() && first.lines().count() > 8);
+    assert_eq!(first, second, "experiment run is not deterministic");
+}
+
+/// Baseline mode (no Duet session) must be deterministic too — the
+/// virtual clock and seeded RNG are the only level the stack draws on.
+#[test]
+fn baseline_preset_is_byte_identical_across_runs() {
+    let cfg = || {
+        let mut c = paper_scaled(
+            512,
+            Personality::FileServer,
+            DistKind::Uniform,
+            1.0,
+            0.6,
+            vec![TaskKind::Scrub],
+            false,
+        );
+        c.seed = 21;
+        c
+    };
+    let first = golden_csv(&run_experiment(&cfg()).expect("first run"));
+    let second = golden_csv(&run_experiment(&cfg()).expect("second run"));
+    assert_eq!(first, second, "baseline run is not deterministic");
+}
+
+/// Rsync drives two filesystems plus the residency priority queue; its
+/// completion time and I/O counters must also replay exactly.
+#[test]
+fn rsync_preset_is_byte_identical_across_runs() {
+    let cfg = paper_scaled(
+        512,
+        Personality::WebServer,
+        DistKind::Uniform,
+        1.0,
+        1.0,
+        vec![],
+        true,
+    );
+    let a = run_rsync_experiment(&cfg, true).expect("first run");
+    let b = run_rsync_experiment(&cfg, true).expect("second run");
+    let ser = |r: &duet_repro::experiments::RsyncResult| {
+        format!(
+            "{:?},{},{},{},{},{}",
+            r.completion,
+            r.metrics.total_units,
+            r.metrics.done_units,
+            r.metrics.saved_units,
+            r.metrics.blocks_read,
+            r.metrics.blocks_written
+        )
+    };
+    assert_eq!(ser(&a), ser(&b), "rsync run is not deterministic");
+}
