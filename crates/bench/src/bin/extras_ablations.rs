@@ -1,197 +1,7 @@
-//! Ablations of design choices called out in DESIGN.md:
-//!
-//! 1. **GC victim policy**: greedy vs cost-benefit, baseline vs Duet —
-//!    does the `valid − cached/2` adjustment help both policies?
-//! 2. **CFQ idle grace period**: maintenance throughput vs workload
-//!    interference as the grace window grows.
-//! 3. **Opportunistic processing vs cache locality** (§6.5's closing
-//!    observation): Duet with a tiny cache still saves most of its I/O,
-//!    showing the benefit comes from reordering, not from caching.
+//! Thin wrapper: the harness body lives in `bench::figs::extras_ablations`.
 
-use bench::{f2, pct, scale_from_env, Report};
-use experiments::{paper_scaled, run_experiment, run_gc_experiment, GcExperimentConfig, TaskKind};
-use sim_core::SimDuration;
-use sim_disk::SchedulerPolicy;
-use sim_f2fs::VictimPolicy;
-use workloads::{DistKind, FileSetConfig, Personality, WorkloadConfig};
+use std::process::ExitCode;
 
-fn main() {
-    let scale = scale_from_env(64);
-
-    // 1. Victim policy ablation.
-    let mut gc = Report::new(
-        "ablation_gc_policy",
-        &["policy", "mode", "mean_cleaning_ms", "cleanings"],
-    );
-    gc.print_header();
-    for policy in [VictimPolicy::Greedy, VictimPolicy::CostBenefit] {
-        for duet in [false, true] {
-            let cfg = GcExperimentConfig {
-                nsegs: 512,
-                seg_blocks: 512,
-                cache_pages: 8192,
-                fileset: FileSetConfig {
-                    num_files: 512,
-                    mean_file_bytes: 256 * 1024,
-                    sigma: 0.4,
-                },
-                workload: WorkloadConfig {
-                    personality: Personality::FileServer,
-                    dist: DistKind::Uniform,
-                    coverage: 1.0,
-                    target_util: 0.6,
-                    burst: 8,
-                    append_bytes: 16 * 1024,
-                    seed: 11,
-                },
-                duet,
-                victim_policy: policy,
-                gc_window: 512,
-                gc_interval: SimDuration::from_millis(200),
-                policy: SchedulerPolicy::default_cfq(),
-                duration: SimDuration::from_secs(30),
-                seed: 11,
-            };
-            let r = run_gc_experiment(&cfg).expect("gc run");
-            gc.row(&[
-                format!("{policy:?}"),
-                if duet { "duet" } else { "baseline" }.into(),
-                f2(r.mean_cleaning_ms),
-                r.cleanings.to_string(),
-            ]);
-        }
-    }
-    gc.save().expect("write");
-
-    // 2. Grace-period sensitivity.
-    let mut grace = Report::new(
-        "ablation_grace_period",
-        &["grace_ms", "work_completed", "io_saved", "workload_ops"],
-    );
-    grace.print_header();
-    for grace_ms in [1u64, 4, 8, 16, 32] {
-        let mut cfg = paper_scaled(
-            scale,
-            Personality::WebServer,
-            DistKind::Uniform,
-            1.0,
-            0.5,
-            vec![TaskKind::Scrub, TaskKind::Backup],
-            true,
-        );
-        cfg.policy = SchedulerPolicy::CfqIdle {
-            grace: SimDuration::from_millis(grace_ms),
-        };
-        let r = run_experiment(&cfg).expect("run");
-        grace.row(&[
-            grace_ms.to_string(),
-            pct(r.work_completed()),
-            pct(r.io_saved()),
-            r.workload_ops.to_string(),
-        ]);
-    }
-    grace.save().expect("write");
-
-    // 3. Reordering vs cache locality: shrink the cache drastically.
-    let mut cache = Report::new(
-        "ablation_tiny_cache",
-        &["cache_pages", "io_saved", "work_completed"],
-    );
-    cache.print_header();
-    for divisor in [1u64, 4, 16, 64] {
-        let mut cfg = paper_scaled(
-            scale,
-            Personality::WebServer,
-            DistKind::Uniform,
-            1.0,
-            0.5,
-            vec![TaskKind::Scrub],
-            true,
-        );
-        cfg.cache_pages = (cfg.cache_pages as u64 / divisor).max(128) as usize;
-        let r = run_experiment(&cfg).expect("run");
-        cache.row(&[
-            cfg.cache_pages.to_string(),
-            pct(r.io_saved()),
-            pct(r.work_completed()),
-        ]);
-    }
-    cache.save().expect("write");
-
-    // 4. Informed cache replacement (the paper's §2 future-work note,
-    //    implemented here as an extension): protect pages with
-    //    unconsumed hints from eviction. With the default 20 ms fetch
-    //    cadence hints are consumed long before eviction and protection
-    //    is moot; the effect appears when tasks poll rarely, so the
-    //    ablation sweeps the poll period.
-    let mut informed = Report::new(
-        "ablation_informed_replacement",
-        &["poll_period_ms", "io_saved_plain", "io_saved_informed"],
-    );
-    informed.print_header();
-    for poll_ms in [20u64, 200, 1000] {
-        let mut row = vec![poll_ms.to_string()];
-        for inf in [false, true] {
-            let mut cfg = paper_scaled(
-                scale,
-                Personality::WebServer,
-                DistKind::Uniform,
-                1.0,
-                0.6,
-                vec![TaskKind::Backup],
-                true,
-            );
-            cfg.poll_period = SimDuration::from_millis(poll_ms);
-            cfg.informed_replacement = inf;
-            let r = run_experiment(&cfg).expect("run");
-            row.push(pct(r.io_saved()));
-        }
-        informed.row(&row);
-    }
-    informed.save().expect("write");
-
-    // 5. Hint granularity: page-level hints (Duet) vs degraded
-    //    file-level hints (what an inotify-based task could build,
-    //    §3.3). Page granularity enables prioritizing by resident
-    //    fraction.
-    let mut gran = Report::new(
-        "ablation_hint_granularity",
-        &["utilization", "saved_page_hints", "saved_file_hints"],
-    );
-    gran.print_header();
-    // A fully fragmented filesystem at high utilization: the defrag
-    // cannot finish, so the *order* in which queued files are taken
-    // decides how much resident data it exploits.
-    for util in [0.7, 0.8, 0.9] {
-        let mut row = vec![f2(util)];
-        for file_gran in [false, true] {
-            let mut cfg = paper_scaled(
-                scale,
-                Personality::WebServer,
-                DistKind::Uniform,
-                1.0,
-                util,
-                vec![TaskKind::Defrag],
-                true,
-            );
-            cfg.fragmentation = Some((1.0, 8));
-            cfg.defrag_file_granularity = file_gran;
-            let r = run_experiment(&cfg).expect("run");
-            row.push(pct(r.io_saved()));
-        }
-        gran.row(&row);
-    }
-    gran.save().expect("write");
-    println!(
-        "\nExpected: the cached-block cost adjustment helps under both victim\n\
-         policies; larger grace periods trade maintenance throughput for\n\
-         workload isolation; savings survive even tiny caches (reordering,\n\
-         not locality, is what pays — §6.5); page-level hints beat\n\
-         file-level hints once the task cannot process everything.\n\
-         Informed replacement (bounded to a quarter of the cache so it\n\
-         cannot degenerate into pinning) shows no measurable gain — the\n\
-         pending-hint population outnumbers any safe protection budget,\n\
-         which is consistent with the paper's reliance on prompt polling\n\
-         instead of pinning (§3.1)."
-    );
+fn main() -> ExitCode {
+    bench::run_main(64, bench::figs::extras_ablations::run)
 }

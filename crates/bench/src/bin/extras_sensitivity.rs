@@ -1,119 +1,7 @@
-//! §6.5 sensitivity checks and the §6.1.3 latency-impact measurement:
-//!
-//! 1. **Workload latency impact**: webserver mean op latency at 50 %
-//!    utilization without maintenance vs with scrubbing or backup at
-//!    idle priority (the paper: 11.67 ms vs 11.60/11.82 — insignificant).
-//! 2. **I/O prioritization**: CFQ idle class vs a no-priority Deadline
-//!    scheduler — without prioritization the workload slows and I/O
-//!    saved drops.
-//! 3. **Page cache size**: varying the cache : data ratio has only a
-//!    marginal effect on savings (out-of-order processing, not cache
-//!    locality, provides most of the benefit).
+//! Thin wrapper: the harness body lives in `bench::figs::extras_sensitivity`.
 
-use bench::{f2, pct, scale_from_env, Report};
-use experiments::{paper_scaled, run_experiment, TaskKind};
-use sim_disk::SchedulerPolicy;
-use workloads::{DistKind, Personality};
+use std::process::ExitCode;
 
-fn main() {
-    let scale = scale_from_env(32);
-    println!("extras: §6.5 sensitivity, scale 1/{scale}");
-
-    // 1. Workload latency impact at 50 % utilization: the paper reports
-    //    11.67 ± 0.12 ms without maintenance, 11.60 ± 0.25 ms with
-    //    scrubbing, 11.82 ± 0.16 ms with backup — i.e. insignificant.
-    let mut lat = Report::new(
-        "extras_latency_impact",
-        &[
-            "setup",
-            "latency_ms",
-            "ci95_ms",
-            "workload_ops",
-            "achieved_util",
-        ],
-    );
-    lat.print_header();
-    for (label, tasks) in [
-        ("no maintenance", vec![]),
-        ("with scrub", vec![TaskKind::Scrub]),
-        ("with backup", vec![TaskKind::Backup]),
-    ] {
-        let cfg = paper_scaled(
-            scale,
-            Personality::WebServer,
-            DistKind::Uniform,
-            1.0,
-            0.5,
-            tasks,
-            true,
-        );
-        let r = run_experiment(&cfg).expect("run");
-        lat.row(&[
-            label.into(),
-            f2(r.workload_latency_ms.0),
-            f2(r.workload_latency_ms.1),
-            r.workload_ops.to_string(),
-            f2(r.achieved_util),
-        ]);
-    }
-    lat.save().expect("write");
-
-    // 2. Prioritization ablation.
-    let mut prio = Report::new(
-        "extras_prioritization",
-        &["scheduler", "io_saved", "work_completed", "workload_ops"],
-    );
-    prio.print_header();
-    for (label, policy) in [
-        ("cfq-idle", SchedulerPolicy::default_cfq()),
-        ("deadline (no priority)", SchedulerPolicy::NoPriority),
-    ] {
-        let mut cfg = paper_scaled(
-            scale,
-            Personality::WebServer,
-            DistKind::Uniform,
-            1.0,
-            0.6,
-            vec![TaskKind::Scrub],
-            true,
-        );
-        cfg.policy = policy;
-        let r = run_experiment(&cfg).expect("run");
-        prio.row(&[
-            label.into(),
-            pct(r.io_saved()),
-            pct(r.work_completed()),
-            r.workload_ops.to_string(),
-        ]);
-    }
-    prio.save().expect("write");
-
-    // 3. Page-cache size sweep.
-    let mut cache = Report::new(
-        "extras_cache_size",
-        &["cache_fraction_of_data", "io_saved", "work_completed"],
-    );
-    cache.print_header();
-    for frac in [0.01, 0.02, 0.04, 0.08, 0.16] {
-        let mut cfg = paper_scaled(
-            scale,
-            Personality::WebServer,
-            DistKind::Uniform,
-            1.0,
-            0.5,
-            vec![TaskKind::Scrub, TaskKind::Backup],
-            true,
-        );
-        let data_bytes = cfg.fileset.num_files as u64 * cfg.fileset.mean_file_bytes;
-        cfg.cache_pages =
-            ((data_bytes as f64 * frac) as u64 / sim_core::PAGE_SIZE).max(256) as usize;
-        let r = run_experiment(&cfg).expect("run");
-        cache.row(&[f2(frac), pct(r.io_saved()), pct(r.work_completed())]);
-    }
-    cache.save().expect("write");
-    println!(
-        "\nPaper shape: latency/throughput impact of idle-priority \
-         maintenance is small; removing prioritization hurts savings; \
-         cache size has a marginal effect."
-    );
+fn main() -> ExitCode {
+    bench::run_main(32, bench::figs::extras_sensitivity::run)
 }

@@ -1,48 +1,7 @@
-//! Figure 10: I/O saved on a solid-state drive (§6.5).
-//!
-//! Expected shape: scrubbing saves about the same as on the hard drive
-//! (it finishes in half the time, but the workload also runs faster, so
-//! the overlap exploited is similar); backup saves *more* on the SSD
-//! because the workload's higher throughput creates more overlap while
-//! the backup's 64 KiB random reads run no faster.
+//! Thin wrapper: the harness body lives in `bench::figs::fig10_ssd`.
 
-use bench::{f2, scale_from_env, sweeps::util_grid, Report};
-use experiments::{paper_scaled, run_experiment, DeviceKind, TaskKind};
-use workloads::{DistKind, Personality};
+use std::process::ExitCode;
 
-fn main() {
-    let scale = scale_from_env(32);
-    println!("fig10: scrub and backup on HDD vs SSD, webserver, scale 1/{scale}");
-    let mut report = Report::new(
-        "fig10_ssd",
-        &[
-            "utilization",
-            "scrub_saved_hdd",
-            "scrub_saved_ssd",
-            "backup_saved_hdd",
-            "backup_saved_ssd",
-        ],
-    );
-    report.print_header();
-    for util in util_grid() {
-        let mut row = vec![f2(util)];
-        for task in [TaskKind::Scrub, TaskKind::Backup] {
-            for device in [DeviceKind::Hdd, DeviceKind::Ssd] {
-                let mut cfg = paper_scaled(
-                    scale,
-                    Personality::WebServer,
-                    DistKind::Uniform,
-                    1.0,
-                    util,
-                    vec![task],
-                    true,
-                );
-                cfg.device = device;
-                let r = run_experiment(&cfg).expect("run");
-                row.push(f2(r.io_saved()));
-            }
-        }
-        report.row(&row);
-    }
-    report.save().expect("write results");
+fn main() -> ExitCode {
+    bench::run_main(32, bench::figs::fig10_ssd::run)
 }

@@ -1,27 +1,7 @@
-//! Figure 2: I/O saved when the scrubbing task runs together with the
-//! webserver workload, across device utilization (0–100 %) and data
-//! overlap (25/50/75/100 %).
-//!
-//! Expected shape (§6.2): savings rise with utilization until they
-//! plateau at the overlap fraction — the workload reads all shared data
-//! before the sequential scan gets to it.
+//! Thin wrapper: the harness body lives in `bench::figs::fig2_scrub_saved`.
 
-use bench::{scale_from_env, sweeps::saved_sweep};
-use experiments::{DeviceKind, TaskKind};
-use workloads::{DistKind, Personality};
+use std::process::ExitCode;
 
-fn main() {
-    let scale = scale_from_env(32);
-    println!("fig2: scrub + webserver, scale 1/{scale} of the paper setup");
-    let report = saved_sweep(
-        "fig2_scrub_saved",
-        scale,
-        DeviceKind::Hdd,
-        Personality::WebServer,
-        DistKind::Uniform,
-        &[0.25, 0.5, 0.75, 1.0],
-        &[TaskKind::Scrub],
-        None,
-    );
-    report.save().expect("write results");
+fn main() -> ExitCode {
+    bench::run_main(32, bench::figs::fig2_scrub_saved::run)
 }

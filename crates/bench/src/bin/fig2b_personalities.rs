@@ -1,76 +1,7 @@
-//! §6.2 text claims: how the read-write ratio and access skew change
-//! the I/O saved by scrubbing and backup.
-//!
-//! The paper (webserver = 10:1, webproxy = 4:1, fileserver = 1:2, all
-//! at 100 % overlap):
-//!
-//! - scrubbing: "the webproxy performs similarly to the webserver ...
-//!   the write-intensive fileserver workload has 40 % of the IO savings
-//!   compared to the other two";
-//! - backup: webproxy "yields 80 % of the I/O savings of webserver,
-//!   while fileserver ... yields up to 40 %";
-//! - both: "using the skewed file access distribution reduces the I/O
-//!   saved by 15-30 %".
+//! Thin wrapper: the harness body lives in `bench::figs::fig2b_personalities`.
 
-use bench::{f2, scale_from_env, Report};
-use experiments::{paper_scaled, run_experiment, TaskKind};
-use workloads::{DistKind, Personality};
+use std::process::ExitCode;
 
-fn saved(scale: u64, task: TaskKind, personality: Personality, dist: DistKind, util: f64) -> f64 {
-    let cfg = paper_scaled(scale, personality, dist, 1.0, util, vec![task], true);
-    run_experiment(&cfg).expect("run").io_saved()
-}
-
-fn main() {
-    let scale = scale_from_env(64);
-    let util = 0.6;
-    println!(
-        "fig2b: I/O saved by personality and distribution at {:.0}% utilization, scale 1/{scale}",
-        util * 100.0
-    );
-    let mut report = Report::new(
-        "fig2b_personalities",
-        &[
-            "task",
-            "webserver",
-            "webproxy",
-            "fileserver",
-            "webserver_mstrace",
-            "fileserver_rel_to_webserver",
-            "mstrace_reduction",
-        ],
-    );
-    report.print_header();
-    for task in [TaskKind::Scrub, TaskKind::Backup] {
-        let web = saved(scale, task, Personality::WebServer, DistKind::Uniform, util);
-        let proxy = saved(scale, task, Personality::WebProxy, DistKind::Uniform, util);
-        let file = saved(
-            scale,
-            task,
-            Personality::FileServer,
-            DistKind::Uniform,
-            util,
-        );
-        let web_ms = saved(
-            scale,
-            task,
-            Personality::WebServer,
-            DistKind::MsTrace(0),
-            util,
-        );
-        report.row(&[
-            format!("{task:?}"),
-            f2(web),
-            f2(proxy),
-            f2(file),
-            f2(web_ms),
-            f2(file / web.max(1e-9)),
-            f2(1.0 - web_ms / web.max(1e-9)),
-        ]);
-    }
-    report.save().expect("write results");
-    println!(
-        "\nPaper shape: webproxy ≈ webserver; fileserver well below both \
-         (~40%); the skewed distribution costs 15-30% of the savings."
-    );
+fn main() -> ExitCode {
+    bench::run_main(64, bench::figs::fig2b_personalities::run)
 }

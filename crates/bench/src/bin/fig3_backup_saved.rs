@@ -1,26 +1,7 @@
-//! Figure 3: I/O saved when the backup task runs together with the
-//! webserver workload, across utilization and overlap.
-//!
-//! Expected shape (§6.2): like Figure 2, but the plateau is reached at
-//! *lower* utilization — backup is random-I/O bound and takes longer,
-//! giving the workload more time to touch shared data.
+//! Thin wrapper: the harness body lives in `bench::figs::fig3_backup_saved`.
 
-use bench::{scale_from_env, sweeps::saved_sweep};
-use experiments::{DeviceKind, TaskKind};
-use workloads::{DistKind, Personality};
+use std::process::ExitCode;
 
-fn main() {
-    let scale = scale_from_env(32);
-    println!("fig3: backup + webserver, scale 1/{scale} of the paper setup");
-    let report = saved_sweep(
-        "fig3_backup_saved",
-        scale,
-        DeviceKind::Hdd,
-        Personality::WebServer,
-        DistKind::Uniform,
-        &[0.25, 0.5, 0.75, 1.0],
-        &[TaskKind::Backup],
-        None,
-    );
-    report.save().expect("write results");
+fn main() -> ExitCode {
+    bench::run_main(32, bench::figs::fig3_backup_saved::run)
 }

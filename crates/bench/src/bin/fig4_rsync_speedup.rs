@@ -1,46 +1,7 @@
-//! Figure 4: runtime speedup of opportunistic rsync as data overlap
-//! with the (unthrottled) webserver workload varies.
-//!
-//! Expected shape (§6.2): speedup grows with overlap, reaching about
-//! 2× at 100 % (all source reads saved; destination writes remain).
+//! Thin wrapper: the harness body lives in `bench::figs::fig4_rsync_speedup`.
 
-use bench::{f2, scale_from_env, Report};
-use experiments::{paper_scaled, run_rsync_experiment, speedup};
-use workloads::{DistKind, Personality};
+use std::process::ExitCode;
 
-fn main() {
-    let scale = scale_from_env(64);
-    println!("fig4: rsync speedup vs overlap, webserver unthrottled, scale 1/{scale}");
-    let mut report = Report::new(
-        "fig4_rsync_speedup",
-        &[
-            "overlap",
-            "baseline_secs",
-            "duet_secs",
-            "speedup",
-            "duet_reads_saved",
-        ],
-    );
-    report.print_header();
-    for overlap in [0.25, 0.5, 0.75, 1.0] {
-        let cfg = paper_scaled(
-            scale,
-            Personality::WebServer,
-            DistKind::Uniform,
-            overlap,
-            1.0, // Unthrottled: rsync runs at normal priority (§6.2).
-            vec![],
-            true,
-        );
-        let base = run_rsync_experiment(&cfg, false).expect("baseline rsync");
-        let duet = run_rsync_experiment(&cfg, true).expect("duet rsync");
-        report.row(&[
-            f2(overlap),
-            f2(base.completion.as_secs_f64()),
-            f2(duet.completion.as_secs_f64()),
-            f2(speedup(base.completion, duet.completion)),
-            f2(duet.metrics.io_saved_fraction()),
-        ]);
-    }
-    report.save().expect("write results");
+fn main() -> ExitCode {
+    bench::run_main(64, bench::figs::fig4_rsync_speedup::run)
 }

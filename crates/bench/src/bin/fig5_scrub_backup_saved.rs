@@ -1,26 +1,7 @@
-//! Figure 5: I/O saved when scrubbing and backup run *together* with
-//! the webserver workload.
-//!
-//! Expected shape (§6.3): even at 0 % utilization the two tasks share
-//! one pass over the data, saving ≥ 50 % of total maintenance I/O;
-//! higher utilization and overlap push savings further.
+//! Thin wrapper: the harness body lives in `bench::figs::fig5_scrub_backup_saved`.
 
-use bench::{scale_from_env, sweeps::saved_sweep};
-use experiments::{DeviceKind, TaskKind};
-use workloads::{DistKind, Personality};
+use std::process::ExitCode;
 
-fn main() {
-    let scale = scale_from_env(32);
-    println!("fig5: scrub + backup + webserver, scale 1/{scale}");
-    let report = saved_sweep(
-        "fig5_scrub_backup_saved",
-        scale,
-        DeviceKind::Hdd,
-        Personality::WebServer,
-        DistKind::Uniform,
-        &[0.25, 0.5, 0.75, 1.0],
-        &[TaskKind::Scrub, TaskKind::Backup],
-        None,
-    );
-    report.save().expect("write results");
+fn main() -> ExitCode {
+    bench::run_main(32, bench::figs::fig5_scrub_backup_saved::run)
 }

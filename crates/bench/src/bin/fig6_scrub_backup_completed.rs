@@ -1,22 +1,7 @@
-//! Figure 6: maintenance work completed when scrubbing and backup run
-//! together with the webserver workload, baseline vs Duet.
-//!
-//! Expected shape (§6.3): the baseline pair stops completing beyond
-//! ~30 % utilization; Duet sustains completion to 70–90 %.
+//! Thin wrapper: the harness body lives in `bench::figs::fig6_scrub_backup_completed`.
 
-use bench::{scale_from_env, sweeps::completed_sweep};
-use experiments::TaskKind;
-use workloads::Personality;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = scale_from_env(32);
-    println!("fig6: work completed, scrub + backup + webserver, scale 1/{scale}");
-    let report = completed_sweep(
-        "fig6_scrub_backup_completed",
-        scale,
-        Personality::WebServer,
-        &[TaskKind::Scrub, TaskKind::Backup],
-        None,
-    );
-    report.save().expect("write results");
+fn main() -> ExitCode {
+    bench::run_main(32, bench::figs::fig6_scrub_backup_completed::run)
 }

@@ -1,26 +1,7 @@
-//! Figure 7: I/O saved when scrubbing, backup and defragmentation run
-//! together with the webserver workload.
-//!
-//! Expected shape (§6.3): ~55 % saved with no workload (one shared pass
-//! over the data; defragmentation writes cannot be saved), rising to
-//! ~80 % with the read-mostly webserver.
+//! Thin wrapper: the harness body lives in `bench::figs::fig7_three_tasks_saved`.
 
-use bench::{scale_from_env, sweeps::saved_sweep};
-use experiments::{DeviceKind, TaskKind};
-use workloads::{DistKind, Personality};
+use std::process::ExitCode;
 
-fn main() {
-    let scale = scale_from_env(32);
-    println!("fig7: scrub + backup + defrag + webserver, scale 1/{scale}");
-    let report = saved_sweep(
-        "fig7_three_tasks_saved",
-        scale,
-        DeviceKind::Hdd,
-        Personality::WebServer,
-        DistKind::Uniform,
-        &[0.25, 0.5, 0.75, 1.0],
-        &[TaskKind::Scrub, TaskKind::Backup, TaskKind::Defrag],
-        Some((0.1, 5)),
-    );
-    report.save().expect("write results");
+fn main() -> ExitCode {
+    bench::run_main(32, bench::figs::fig7_three_tasks_saved::run)
 }

@@ -1,23 +1,7 @@
-//! Figure 8: maintenance work completed when scrubbing, backup and
-//! defragmentation run together with the webserver workload.
-//!
-//! Expected shape (§6.3): "Without Duet, maintenance work fails to
-//! complete even when the device is idle" (the three baselines contend
-//! for the window); Duet completes everything up to ~50 % utilization.
+//! Thin wrapper: the harness body lives in `bench::figs::fig8_three_tasks_completed`.
 
-use bench::{scale_from_env, sweeps::completed_sweep};
-use experiments::TaskKind;
-use workloads::Personality;
+use std::process::ExitCode;
 
-fn main() {
-    let scale = scale_from_env(32);
-    println!("fig8: work completed, three tasks + webserver, scale 1/{scale}");
-    let report = completed_sweep(
-        "fig8_three_tasks_completed",
-        scale,
-        Personality::WebServer,
-        &[TaskKind::Scrub, TaskKind::Backup, TaskKind::Defrag],
-        Some((0.1, 5)),
-    );
-    report.save().expect("write results");
+fn main() -> ExitCode {
+    bench::run_main(32, bench::figs::fig8_three_tasks_completed::run)
 }

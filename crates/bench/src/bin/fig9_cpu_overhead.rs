@@ -1,120 +1,7 @@
-//! Figure 9: CPU overhead of Duet (§6.4).
-//!
-//! The paper registers a file task on the filesystem root, generates
-//! roughly 12 page events/ms with an unthrottled webserver, and
-//! measures the CPU lost to Duet bookkeeping while the task either
-//! stays idle or fetches every 10/20/40 ms. Reported overhead is
-//! 0.5–1.5 %, with state-based notifications slightly cheaper (events
-//! merge) and fetch frequency mostly irrelevant.
-//!
-//! We measure the same code paths directly: wall-clock nanoseconds per
-//! event through `handle_page_event` + periodic `fetch`, then express
-//! them as the CPU share a 12 events/ms stream would consume.
+//! Thin wrapper: the harness body lives in `bench::figs::fig9_cpu_overhead`.
 
-use bench::harness::Stopwatch;
-use bench::synthfs::{SynthFs, SYNTH_ROOT};
-use bench::{f2, Report};
-use duet::{Duet, DuetConfig, EventMask, TaskScope};
-use sim_cache::{PageEvent, PageKey, PageMeta};
-use sim_core::{BlockNr, InodeNr, PageIndex};
+use std::process::ExitCode;
 
-const EVENTS_PER_MS: u64 = 12;
-const SIM_MS: u64 = 20_000;
-
-/// Replays `SIM_MS` virtual milliseconds of events; returns wall ns per
-/// event.
-fn run_case(mask: EventMask, fetch_every_ms: Option<u64>) -> f64 {
-    let fs = SynthFs;
-    let mut duet = Duet::new(DuetConfig {
-        max_sessions: 16,
-        descriptor_limit: 1 << 20,
-    });
-    let sid = duet
-        .register(
-            TaskScope::File {
-                registered_dir: SYNTH_ROOT,
-            },
-            mask,
-            &fs,
-        )
-        .expect("register");
-    let files = 512u64;
-    let pages = 64u64;
-    let total_events = SIM_MS * EVENTS_PER_MS;
-    let t0 = Stopwatch::start();
-    let mut cursor = 0u64;
-    for ms in 0..SIM_MS {
-        for _ in 0..EVENTS_PER_MS {
-            cursor = cursor
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            let ino = InodeNr(2 + (cursor >> 33) % files);
-            let idx = PageIndex((cursor >> 20) % pages);
-            let meta = PageMeta {
-                key: PageKey::new(ino, idx),
-                block: Some(BlockNr((ino.raw() << 20) + idx.raw())),
-                dirty: false,
-            };
-            // Mix of adds, removes and dirties (removes let state
-            // notifications cancel).
-            let ev = match cursor % 4 {
-                0 | 1 => PageEvent::Added,
-                2 => PageEvent::Dirtied,
-                _ => PageEvent::Removed,
-            };
-            duet.handle_page_event(meta, ev, &fs);
-        }
-        if let Some(every) = fetch_every_ms {
-            if ms % every == 0 {
-                loop {
-                    let items = duet.fetch(sid, 256, &fs).expect("fetch");
-                    if items.len() < 256 {
-                        break;
-                    }
-                }
-            }
-        }
-    }
-    t0.elapsed_ns() as f64 / total_events as f64
-}
-
-fn main() {
-    println!("fig9: Duet bookkeeping cost, {EVENTS_PER_MS} events/ms stream");
-    let mut report = Report::new(
-        "fig9_cpu_overhead",
-        &[
-            "fetch_interval",
-            "mask",
-            "ns_per_event",
-            "cpu_overhead_at_12ev_ms",
-        ],
-    );
-    report.print_header();
-    let event_mask = EventMask::ADDED | EventMask::REMOVED | EventMask::DIRTIED;
-    let state_mask = EventMask::EXISTS | EventMask::MODIFIED;
-    for (label, interval) in [
-        ("idle", None),
-        ("10ms", Some(10)),
-        ("20ms", Some(20)),
-        ("40ms", Some(40)),
-    ] {
-        for (mask_label, mask) in [("events", event_mask), ("state", state_mask)] {
-            let ns = run_case(mask, interval);
-            // A 12 events/ms stream costs ns × 12_000 per second of
-            // workload; overhead is that over one CPU-second.
-            let overhead = ns * (EVENTS_PER_MS as f64 * 1000.0) / 1e9;
-            report.row(&[
-                label.to_string(),
-                mask_label.to_string(),
-                f2(ns),
-                format!("{:.3}%", overhead * 100.0),
-            ]);
-        }
-    }
-    report.save().expect("write results");
-    println!(
-        "\nPaper shape: overhead in the low single-digit percent range; \
-         state notifications slightly cheaper (events merge/cancel); \
-         fetch frequency has little effect."
-    );
+fn main() -> ExitCode {
+    bench::run_main(32, bench::figs::fig9_cpu_overhead::run)
 }

@@ -4,9 +4,10 @@
 
 use bench::scale_from_env;
 use experiments::{paper_scaled, run_experiment, TaskKind};
+use std::process::ExitCode;
 use workloads::{DistKind, Personality};
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let task = match args.get(1).map(|s| s.as_str()) {
         Some("backup") => TaskKind::Backup,
@@ -34,7 +35,13 @@ fn main() {
             if task == TaskKind::Defrag {
                 cfg.fragmentation = Some((0.1, 5));
             }
-            let r = run_experiment(&cfg).expect("run");
+            let r = match run_experiment(&cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: experiment failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let t = &r.tasks[0];
             println!(
                 "{:>4.1}  {:<8} {:>6.1}% {:>6.1}% {:>9} {:>9} {:>8.2}  {:>6}  mbusy={:.2}s",
@@ -50,4 +57,5 @@ fn main() {
             );
         }
     }
+    ExitCode::SUCCESS
 }

@@ -1,117 +1,7 @@
-//! Table 5: maximum utilization at which each Btrfs maintenance task
-//! still completes within the window, baseline vs Duet, across the
-//! paper's workload grid.
-//!
-//! Rows: webserver at 25/50/75/100 % overlap (uniform) and 100 % with
-//! the MS-trace distribution; webproxy and fileserver at 100 % overlap,
-//! uniform and MS-trace. Columns: scrubbing, backup, defragmentation —
-//! baseline and Duet.
+//! Thin wrapper: the harness body lives in `bench::figs::table5_max_util`.
 
-use bench::{pct, scale_from_env, Report};
-use experiments::{max_utilization, paper_scaled, run_experiment, TaskKind};
-use workloads::{DistKind, Personality};
+use std::process::ExitCode;
 
-fn cell(
-    scale: u64,
-    personality: Personality,
-    dist: DistKind,
-    overlap: f64,
-    task: TaskKind,
-    duet: bool,
-) -> String {
-    let completes = |util: f64| -> bool {
-        let mut cfg = paper_scaled(scale, personality, dist, overlap, util, vec![task], duet);
-        if task == TaskKind::Defrag {
-            cfg.fragmentation = Some((0.1, 5));
-        }
-        run_experiment(&cfg).expect("run").all_completed()
-    };
-    match max_utilization(completes) {
-        Some(u) => pct(u),
-        None => "never".into(),
-    }
-}
-
-fn main() {
-    let scale = scale_from_env(64);
-    println!("table5: maximum utilization, scale 1/{scale} (this sweep runs many experiments)");
-    let rows: Vec<(&str, Personality, f64, DistKind)> = vec![
-        (
-            "webserver 25% uniform",
-            Personality::WebServer,
-            0.25,
-            DistKind::Uniform,
-        ),
-        (
-            "webserver 50% uniform",
-            Personality::WebServer,
-            0.50,
-            DistKind::Uniform,
-        ),
-        (
-            "webserver 75% uniform",
-            Personality::WebServer,
-            0.75,
-            DistKind::Uniform,
-        ),
-        (
-            "webserver 100% uniform",
-            Personality::WebServer,
-            1.0,
-            DistKind::Uniform,
-        ),
-        (
-            "webserver 100% mstrace",
-            Personality::WebServer,
-            1.0,
-            DistKind::MsTrace(0),
-        ),
-        (
-            "webproxy 100% uniform",
-            Personality::WebProxy,
-            1.0,
-            DistKind::Uniform,
-        ),
-        (
-            "webproxy 100% mstrace",
-            Personality::WebProxy,
-            1.0,
-            DistKind::MsTrace(0),
-        ),
-        (
-            "fileserver 100% uniform",
-            Personality::FileServer,
-            1.0,
-            DistKind::Uniform,
-        ),
-        (
-            "fileserver 100% mstrace",
-            Personality::FileServer,
-            1.0,
-            DistKind::MsTrace(0),
-        ),
-    ];
-    let mut report = Report::new(
-        "table5_max_util",
-        &[
-            "workload",
-            "scrub_base",
-            "scrub_duet",
-            "backup_base",
-            "backup_duet",
-            "defrag_base",
-            "defrag_duet",
-        ],
-    );
-    report.print_header();
-    for (label, personality, overlap, dist) in rows {
-        let mut row = vec![label.to_string()];
-        for task in [TaskKind::Scrub, TaskKind::Backup, TaskKind::Defrag] {
-            for duet in [false, true] {
-                row.push(cell(scale, personality, dist, overlap, task, duet));
-            }
-        }
-        report.row(&row);
-    }
-    report.save().expect("write results");
+fn main() -> ExitCode {
+    bench::run_main(64, bench::figs::table5_max_util::run)
 }

@@ -1,0 +1,32 @@
+//! Figure 2: I/O saved when the scrubbing task runs together with the
+//! webserver workload, across device utilization (0–100 %) and data
+//! overlap (25/50/75/100 %).
+//!
+//! Expected shape (§6.2): savings rise with utilization until they
+//! plateau at the overlap fraction — the workload reads all shared data
+//! before the sequential scan gets to it.
+
+use crate::sweeps::saved_sweep;
+use crate::{BenchResult, Sink};
+use experiments::{DeviceKind, TaskKind};
+use workloads::{DistKind, Personality};
+
+/// Runs the harness at 1/`scale` of the paper setup.
+pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
+    sink.line(format!(
+        "fig2: scrub + webserver, scale 1/{scale} of the paper setup"
+    ));
+    let report = saved_sweep(
+        "fig2_scrub_saved",
+        scale,
+        DeviceKind::Hdd,
+        Personality::WebServer,
+        DistKind::Uniform,
+        &[0.25, 0.5, 0.75, 1.0],
+        &[TaskKind::Scrub],
+        None,
+        sink,
+    )?;
+    report.save(sink)?;
+    Ok(())
+}

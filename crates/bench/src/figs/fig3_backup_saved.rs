@@ -1,0 +1,31 @@
+//! Figure 3: I/O saved when the backup task runs together with the
+//! webserver workload, across utilization and overlap.
+//!
+//! Expected shape (§6.2): like Figure 2, but the plateau is reached at
+//! *lower* utilization — backup is random-I/O bound and takes longer,
+//! giving the workload more time to touch shared data.
+
+use crate::sweeps::saved_sweep;
+use crate::{BenchResult, Sink};
+use experiments::{DeviceKind, TaskKind};
+use workloads::{DistKind, Personality};
+
+/// Runs the harness at 1/`scale` of the paper setup.
+pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
+    sink.line(format!(
+        "fig3: backup + webserver, scale 1/{scale} of the paper setup"
+    ));
+    let report = saved_sweep(
+        "fig3_backup_saved",
+        scale,
+        DeviceKind::Hdd,
+        Personality::WebServer,
+        DistKind::Uniform,
+        &[0.25, 0.5, 0.75, 1.0],
+        &[TaskKind::Backup],
+        None,
+        sink,
+    )?;
+    report.save(sink)?;
+    Ok(())
+}

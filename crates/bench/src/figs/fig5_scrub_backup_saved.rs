@@ -1,0 +1,29 @@
+//! Figure 5: I/O saved when scrubbing and backup run *together* with
+//! the webserver workload.
+//!
+//! Expected shape (§6.3): even at 0 % utilization the two tasks share
+//! one pass over the data, saving ≥ 50 % of total maintenance I/O;
+//! higher utilization and overlap push savings further.
+
+use crate::sweeps::saved_sweep;
+use crate::{BenchResult, Sink};
+use experiments::{DeviceKind, TaskKind};
+use workloads::{DistKind, Personality};
+
+/// Runs the harness at 1/`scale` of the paper setup.
+pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
+    sink.line(format!("fig5: scrub + backup + webserver, scale 1/{scale}"));
+    let report = saved_sweep(
+        "fig5_scrub_backup_saved",
+        scale,
+        DeviceKind::Hdd,
+        Personality::WebServer,
+        DistKind::Uniform,
+        &[0.25, 0.5, 0.75, 1.0],
+        &[TaskKind::Scrub, TaskKind::Backup],
+        None,
+        sink,
+    )?;
+    report.save(sink)?;
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! Figure 6: maintenance work completed when scrubbing and backup run
+//! together with the webserver workload, baseline vs Duet.
+//!
+//! Expected shape (§6.3): the baseline pair stops completing beyond
+//! ~30 % utilization; Duet sustains completion to 70–90 %.
+
+use crate::sweeps::completed_sweep;
+use crate::{BenchResult, Sink};
+use experiments::TaskKind;
+use workloads::Personality;
+
+/// Runs the harness at 1/`scale` of the paper setup.
+pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
+    sink.line(format!(
+        "fig6: work completed, scrub + backup + webserver, scale 1/{scale}"
+    ));
+    let report = completed_sweep(
+        "fig6_scrub_backup_completed",
+        scale,
+        Personality::WebServer,
+        &[TaskKind::Scrub, TaskKind::Backup],
+        None,
+        sink,
+    )?;
+    report.save(sink)?;
+    Ok(())
+}

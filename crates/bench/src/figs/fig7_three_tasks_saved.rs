@@ -1,0 +1,31 @@
+//! Figure 7: I/O saved when scrubbing, backup and defragmentation run
+//! together with the webserver workload.
+//!
+//! Expected shape (§6.3): ~55 % saved with no workload (one shared pass
+//! over the data; defragmentation writes cannot be saved), rising to
+//! ~80 % with the read-mostly webserver.
+
+use crate::sweeps::saved_sweep;
+use crate::{BenchResult, Sink};
+use experiments::{DeviceKind, TaskKind};
+use workloads::{DistKind, Personality};
+
+/// Runs the harness at 1/`scale` of the paper setup.
+pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
+    sink.line(format!(
+        "fig7: scrub + backup + defrag + webserver, scale 1/{scale}"
+    ));
+    let report = saved_sweep(
+        "fig7_three_tasks_saved",
+        scale,
+        DeviceKind::Hdd,
+        Personality::WebServer,
+        DistKind::Uniform,
+        &[0.25, 0.5, 0.75, 1.0],
+        &[TaskKind::Scrub, TaskKind::Backup, TaskKind::Defrag],
+        Some((0.1, 5)),
+        sink,
+    )?;
+    report.save(sink)?;
+    Ok(())
+}

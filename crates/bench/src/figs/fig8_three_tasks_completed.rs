@@ -1,0 +1,28 @@
+//! Figure 8: maintenance work completed when scrubbing, backup and
+//! defragmentation run together with the webserver workload.
+//!
+//! Expected shape (§6.3): "Without Duet, maintenance work fails to
+//! complete even when the device is idle" (the three baselines contend
+//! for the window); Duet completes everything up to ~50 % utilization.
+
+use crate::sweeps::completed_sweep;
+use crate::{BenchResult, Sink};
+use experiments::TaskKind;
+use workloads::Personality;
+
+/// Runs the harness at 1/`scale` of the paper setup.
+pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
+    sink.line(format!(
+        "fig8: work completed, three tasks + webserver, scale 1/{scale}"
+    ));
+    let report = completed_sweep(
+        "fig8_three_tasks_completed",
+        scale,
+        Personality::WebServer,
+        &[TaskKind::Scrub, TaskKind::Backup, TaskKind::Defrag],
+        Some((0.1, 5)),
+        sink,
+    )?;
+    report.save(sink)?;
+    Ok(())
+}

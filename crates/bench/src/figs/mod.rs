@@ -1,0 +1,153 @@
+//! Harness bodies for every table and figure, callable in-process.
+//!
+//! Each submodule exposes `run(scale, sink) -> BenchResult<()>` with
+//! the exact behaviour of the corresponding `src/bin/` binary (which is
+//! now a thin wrapper around it). The [`ALL`] registry lets `repro_all`
+//! fan the harnesses out across cores instead of spawning subprocesses.
+
+use crate::{BenchResult, Sink};
+
+pub mod extras_ablations;
+pub mod extras_f2fs_ssr;
+pub mod extras_sensitivity;
+pub mod fig10_ssd;
+pub mod fig1_distributions;
+pub mod fig2_scrub_saved;
+pub mod fig2b_personalities;
+pub mod fig3_backup_saved;
+pub mod fig4_rsync_speedup;
+pub mod fig5_scrub_backup_saved;
+pub mod fig6_scrub_backup_completed;
+pub mod fig7_three_tasks_saved;
+pub mod fig8_three_tasks_completed;
+pub mod fig9_cpu_overhead;
+pub mod mem_overhead;
+pub mod table5_max_util;
+pub mod table6_gc_cleaning;
+
+/// A harness entry point.
+pub type Harness = fn(u64, &mut Sink) -> BenchResult<()>;
+
+/// One registered harness.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessSpec {
+    /// Binary/CSV name.
+    pub name: &'static str,
+    /// The harness body.
+    pub run: Harness,
+    /// Whether the harness *measures wall-clock time* (fig9): its CSV
+    /// is a hardware measurement, inherently non-reproducible byte for
+    /// byte, and it must run alone — concurrent load would skew it.
+    pub wall_clock: bool,
+}
+
+/// Every harness, in the canonical `repro_all` order.
+pub const ALL: &[HarnessSpec] = &[
+    HarnessSpec {
+        name: "fig1_distributions",
+        run: fig1_distributions::run,
+        wall_clock: false,
+    },
+    HarnessSpec {
+        name: "fig2_scrub_saved",
+        run: fig2_scrub_saved::run,
+        wall_clock: false,
+    },
+    HarnessSpec {
+        name: "fig2b_personalities",
+        run: fig2b_personalities::run,
+        wall_clock: false,
+    },
+    HarnessSpec {
+        name: "fig3_backup_saved",
+        run: fig3_backup_saved::run,
+        wall_clock: false,
+    },
+    HarnessSpec {
+        name: "fig4_rsync_speedup",
+        run: fig4_rsync_speedup::run,
+        wall_clock: false,
+    },
+    HarnessSpec {
+        name: "fig5_scrub_backup_saved",
+        run: fig5_scrub_backup_saved::run,
+        wall_clock: false,
+    },
+    HarnessSpec {
+        name: "fig6_scrub_backup_completed",
+        run: fig6_scrub_backup_completed::run,
+        wall_clock: false,
+    },
+    HarnessSpec {
+        name: "fig7_three_tasks_saved",
+        run: fig7_three_tasks_saved::run,
+        wall_clock: false,
+    },
+    HarnessSpec {
+        name: "fig8_three_tasks_completed",
+        run: fig8_three_tasks_completed::run,
+        wall_clock: false,
+    },
+    HarnessSpec {
+        name: "fig9_cpu_overhead",
+        run: fig9_cpu_overhead::run,
+        wall_clock: true,
+    },
+    HarnessSpec {
+        name: "fig10_ssd",
+        run: fig10_ssd::run,
+        wall_clock: false,
+    },
+    HarnessSpec {
+        name: "table5_max_util",
+        run: table5_max_util::run,
+        wall_clock: false,
+    },
+    HarnessSpec {
+        name: "table6_gc_cleaning",
+        run: table6_gc_cleaning::run,
+        wall_clock: false,
+    },
+    HarnessSpec {
+        name: "mem_overhead",
+        run: mem_overhead::run,
+        wall_clock: false,
+    },
+    HarnessSpec {
+        name: "extras_sensitivity",
+        run: extras_sensitivity::run,
+        wall_clock: false,
+    },
+    HarnessSpec {
+        name: "extras_ablations",
+        run: extras_ablations::run,
+        wall_clock: false,
+    },
+    HarnessSpec {
+        name: "extras_f2fs_ssr",
+        run: extras_f2fs_ssr::run,
+        wall_clock: false,
+    },
+];
+
+/// Looks a harness up by name.
+pub fn find(name: &str) -> Option<&'static HarnessSpec> {
+    ALL.iter().find(|h| h.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        assert_eq!(ALL.len(), 17);
+        let mut names: Vec<&str> = ALL.iter().map(|h| h.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 17, "duplicate harness names");
+        assert!(find("fig9_cpu_overhead").is_some_and(|h| h.wall_clock));
+        assert!(find("fig2_scrub_saved").is_some_and(|h| !h.wall_clock));
+        assert!(find("nope").is_none());
+    }
+}

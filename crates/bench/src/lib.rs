@@ -1,15 +1,21 @@
 //! Shared plumbing for the experiment harness binaries.
 //!
 //! Every table and figure of the paper's evaluation has a binary in
-//! `src/bin/` that regenerates it (see DESIGN.md's experiment index).
-//! Binaries print the series/rows to stdout and write a CSV under
-//! `results/`. The experiment scale (relative to the paper's 50 GB /
-//! 30 min setup) is controlled by the `DUET_SCALE` environment
-//! variable; larger values run faster at lower fidelity.
+//! `src/bin/` that regenerates it (see DESIGN.md's experiment index);
+//! the body of each harness lives in [`figs`] so `repro_all` can run
+//! them all in-process. Binaries print the series/rows to stdout and
+//! write a CSV under `results/`. The experiment scale (relative to the
+//! paper's 50 GB / 30 min setup) is controlled by the `DUET_SCALE`
+//! environment variable; larger values run faster at lower fidelity.
+//! `DUET_JOBS` bounds the worker threads used by [`pool`] to fan
+//! independent sweep cells out across cores (results are byte-identical
+//! at any width; see DESIGN.md §8).
 
+use std::fmt;
 use std::fs;
 use std::io::Write;
 use std::path::PathBuf;
+use std::process::ExitCode;
 
 /// Reads the scale factor from `DUET_SCALE`, with a per-harness default.
 pub fn scale_from_env(default: u64) -> u64 {
@@ -18,6 +24,107 @@ pub fn scale_from_env(default: u64) -> u64 {
         .and_then(|s| s.parse().ok())
         .filter(|&s| s >= 1)
         .unwrap_or(default)
+}
+
+/// Errors a harness can produce.
+#[derive(Debug)]
+pub enum BenchError {
+    /// A simulation/experiment error.
+    Sim(sim_core::SimError),
+    /// Writing results failed.
+    Io(std::io::Error),
+    /// `repro_all` was asked for a harness that does not exist.
+    UnknownHarness(String),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Sim(e) => write!(f, "experiment failed: {e}"),
+            BenchError::Io(e) => write!(f, "writing results failed: {e}"),
+            BenchError::UnknownHarness(name) => write!(f, "unknown harness: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<sim_core::SimError> for BenchError {
+    fn from(e: sim_core::SimError) -> Self {
+        BenchError::Sim(e)
+    }
+}
+
+impl From<std::io::Error> for BenchError {
+    fn from(e: std::io::Error) -> Self {
+        BenchError::Io(e)
+    }
+}
+
+/// Result alias for harness code.
+pub type BenchResult<T> = Result<T, BenchError>;
+
+/// Entry point shared by the harness binaries: reads `DUET_SCALE`
+/// (with the harness's default), runs the body against a live console
+/// sink, and maps errors to a message on stderr plus a nonzero exit —
+/// a failed sweep cell must not abort mid-CSV with a panic.
+pub fn run_main(default_scale: u64, run: fn(u64, &mut Sink) -> BenchResult<()>) -> ExitCode {
+    let mut sink = Sink::live();
+    match run(scale_from_env(default_scale), &mut sink) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Console output sink. Harness binaries write straight to stdout
+/// (`Live`); the in-process `repro_all` gives each harness a `Buffer`
+/// and prints the captured lines in a fixed order afterwards, so
+/// parallel harnesses cannot interleave output.
+#[derive(Debug)]
+pub enum Sink {
+    /// Print lines to stdout immediately.
+    Live,
+    /// Collect lines for later, ordered printing.
+    Buffer(Vec<String>),
+}
+
+impl Sink {
+    /// A sink that prints immediately.
+    pub fn live() -> Sink {
+        Sink::Live
+    }
+
+    /// A sink that collects lines.
+    pub fn buffer() -> Sink {
+        Sink::Buffer(Vec::new())
+    }
+
+    /// Emits one line.
+    pub fn line<S: Into<String>>(&mut self, s: S) {
+        match self {
+            Sink::Live => println!("{}", s.into()),
+            Sink::Buffer(lines) => lines.push(s.into()),
+        }
+    }
+
+    /// The collected lines (empty for a live sink).
+    pub fn lines(&self) -> &[String] {
+        match self {
+            Sink::Live => &[],
+            Sink::Buffer(lines) => lines,
+        }
+    }
+
+    /// Consumes the sink, returning collected lines.
+    pub fn into_lines(self) -> Vec<String> {
+        match self {
+            Sink::Live => Vec::new(),
+            Sink::Buffer(lines) => lines,
+        }
+    }
 }
 
 /// A simple CSV/console sink for experiment output.
@@ -37,21 +144,30 @@ impl Report {
         }
     }
 
-    /// Adds a row (and echoes it to stdout).
-    pub fn row(&mut self, values: &[String]) {
+    /// Adds a row (and echoes it to the sink).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the header.
+    pub fn row(&mut self, sink: &mut Sink, values: &[String]) {
         assert_eq!(values.len(), self.header.len(), "column count mismatch");
-        println!("  {}", values.join("\t"));
+        sink.line(format!("  {}", values.join("\t")));
         self.rows.push(values.to_vec());
     }
 
-    /// Prints the header line.
-    pub fn print_header(&self) {
-        println!("== {} ==", self.name);
-        println!("  {}", self.header.join("\t"));
+    /// Emits the header line.
+    pub fn print_header(&self, sink: &mut Sink) {
+        sink.line(format!("== {} ==", self.name));
+        sink.line(format!("  {}", self.header.join("\t")));
+    }
+
+    /// The collected rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
     }
 
     /// Writes the collected rows to `results/<name>.csv`.
-    pub fn save(&self) -> std::io::Result<PathBuf> {
+    pub fn save(&self, sink: &mut Sink) -> std::io::Result<PathBuf> {
         let dir = PathBuf::from("results");
         fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.csv", self.name));
@@ -60,7 +176,7 @@ impl Report {
         for r in &self.rows {
             writeln!(f, "{}", r.join(","))?;
         }
-        println!("[saved {}]", path.display());
+        sink.line(format!("[saved {}]", path.display()));
         Ok(path)
     }
 }
@@ -89,10 +205,19 @@ mod tests {
 
     #[test]
     fn report_roundtrip() {
+        let mut sink = Sink::buffer();
         let mut r = Report::new("unit_test_report", &["a", "b"]);
-        r.print_header();
-        r.row(&["1".into(), "2".into()]);
-        assert_eq!(r.rows.len(), 1);
+        r.print_header(&mut sink);
+        r.row(&mut sink, &["1".into(), "2".into()]);
+        assert_eq!(r.rows().len(), 1);
+        assert_eq!(
+            sink.lines(),
+            [
+                "== unit_test_report ==".to_string(),
+                "  a\tb".to_string(),
+                "  1\t2".to_string(),
+            ]
+        );
         assert_eq!(pct(0.5), "50.0%");
         assert_eq!(f2(1.234), "1.23");
     }
@@ -101,10 +226,20 @@ mod tests {
     #[should_panic(expected = "column count mismatch")]
     fn report_checks_columns() {
         let mut r = Report::new("bad", &["a", "b"]);
-        r.row(&["only one".into()]);
+        r.row(&mut Sink::buffer(), &["only one".into()]);
+    }
+
+    #[test]
+    fn bench_error_formats() {
+        let e = BenchError::from(sim_core::SimError::NoSpace);
+        assert!(e.to_string().contains("no space"));
+        let u = BenchError::UnknownHarness("nope".into());
+        assert!(u.to_string().contains("nope"));
     }
 }
 
+pub mod figs;
 pub mod harness;
+pub mod pool;
 pub mod sweeps;
 pub mod synthfs;

@@ -1,12 +1,62 @@
 //! Reusable sweep drivers for the figure harnesses.
+//!
+//! A sweep is a grid of independent experiment cells. The `*_cells`
+//! functions run the grid through [`pool::try_run_indexed`] — cells
+//! execute on up to `jobs` workers, results come back in grid order, so
+//! the rendered report is byte-identical to a sequential run. Each
+//! sweep shares one [`ProfileCache`], so the §6.1.2 calibration pass
+//! runs once per workload shape instead of once per cell.
 
-use crate::{f2, Report};
-use experiments::{paper_scaled, run_experiment, DeviceKind, TaskKind};
+use crate::pool;
+use crate::{f2, BenchResult, Report, Sink};
+use experiments::{paper_scaled, run_experiment_cached, DeviceKind, ProfileCache, TaskKind};
+use sim_core::SimResult;
 use workloads::{DistKind, Personality};
 
 /// Utilization grid of the paper's figures: 0–100 % in 10 % steps.
 pub fn util_grid() -> Vec<f64> {
     (0..=10).map(|i| i as f64 / 10.0).collect()
+}
+
+/// Runs the `utilization × overlap` grid of a saved-style sweep on up
+/// to `jobs` workers, returning `io_saved` per cell as
+/// `rows[util][overlap]` — in grid order regardless of worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn saved_cells(
+    scale: u64,
+    device: DeviceKind,
+    personality: Personality,
+    dist: DistKind,
+    utils: &[f64],
+    overlaps: &[f64],
+    tasks: &[TaskKind],
+    fragmentation: Option<(f64, u64)>,
+    jobs: usize,
+) -> SimResult<Vec<Vec<f64>>> {
+    let cells: Vec<(f64, f64)> = utils
+        .iter()
+        .flat_map(|&u| overlaps.iter().map(move |&o| (u, o)))
+        .collect();
+    let profiles = ProfileCache::new();
+    let saved = pool::try_run_indexed(cells.len(), jobs, |i| {
+        let (util, overlap) = cells[i];
+        let mut cfg = paper_scaled(
+            scale,
+            personality,
+            dist,
+            overlap,
+            util,
+            tasks.to_vec(),
+            true,
+        );
+        cfg.device = device;
+        cfg.fragmentation = fragmentation;
+        Ok(run_experiment_cached(&cfg, &profiles)?.io_saved())
+    })?;
+    Ok(saved
+        .chunks(overlaps.len().max(1))
+        .map(<[f64]>::to_vec)
+        .collect())
 }
 
 /// Sweeps `utilization × overlap` and reports the I/O-saved fraction of
@@ -21,34 +71,66 @@ pub fn saved_sweep(
     overlaps: &[f64],
     tasks: &[TaskKind],
     fragmentation: Option<(f64, u64)>,
-) -> Report {
+    sink: &mut Sink,
+) -> BenchResult<Report> {
     let mut header: Vec<String> = vec!["utilization".into()];
     for &o in overlaps {
         header.push(format!("saved_overlap_{:.0}%", o * 100.0));
     }
     let hdr_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut report = Report::new(name, &hdr_refs);
-    report.print_header();
-    for util in util_grid() {
-        let mut row = vec![f2(util)];
-        for &overlap in overlaps {
-            let mut cfg = paper_scaled(
-                scale,
-                personality,
-                dist,
-                overlap,
-                util,
-                tasks.to_vec(),
-                true,
-            );
-            cfg.device = device;
-            cfg.fragmentation = fragmentation;
-            let r = run_experiment(&cfg).expect("experiment run");
-            row.push(f2(r.io_saved()));
-        }
-        report.row(&row);
+    report.print_header(sink);
+    let utils = util_grid();
+    let grid = saved_cells(
+        scale,
+        device,
+        personality,
+        dist,
+        &utils,
+        overlaps,
+        tasks,
+        fragmentation,
+        pool::jobs(),
+    )?;
+    for (util, saved) in utils.iter().zip(grid) {
+        let mut row = vec![f2(*util)];
+        row.extend(saved.iter().map(|&v| f2(v)));
+        report.row(sink, &row);
     }
-    report
+    Ok(report)
+}
+
+/// Runs the `utilization × {baseline, duet}` grid of a completed-style
+/// sweep on up to `jobs` workers, returning `work_completed` per cell
+/// as `rows[util] = [baseline, duet]`.
+pub fn completed_cells(
+    scale: u64,
+    personality: Personality,
+    utils: &[f64],
+    tasks: &[TaskKind],
+    fragmentation: Option<(f64, u64)>,
+    jobs: usize,
+) -> SimResult<Vec<Vec<f64>>> {
+    let cells: Vec<(f64, bool)> = utils
+        .iter()
+        .flat_map(|&u| [false, true].into_iter().map(move |d| (u, d)))
+        .collect();
+    let profiles = ProfileCache::new();
+    let completed = pool::try_run_indexed(cells.len(), jobs, |i| {
+        let (util, duet) = cells[i];
+        let mut cfg = paper_scaled(
+            scale,
+            personality,
+            DistKind::Uniform,
+            1.0,
+            util,
+            tasks.to_vec(),
+            duet,
+        );
+        cfg.fragmentation = fragmentation;
+        Ok(run_experiment_cached(&cfg, &profiles)?.work_completed())
+    })?;
+    Ok(completed.chunks(2).map(<[f64]>::to_vec).collect())
 }
 
 /// Sweeps utilization and reports the work-completed fraction for
@@ -59,29 +141,26 @@ pub fn completed_sweep(
     personality: Personality,
     tasks: &[TaskKind],
     fragmentation: Option<(f64, u64)>,
-) -> Report {
+    sink: &mut Sink,
+) -> BenchResult<Report> {
     let mut report = Report::new(
         name,
         &["utilization", "baseline_completed", "duet_completed"],
     );
-    report.print_header();
-    for util in util_grid() {
-        let mut row = vec![f2(util)];
-        for duet in [false, true] {
-            let mut cfg = paper_scaled(
-                scale,
-                personality,
-                DistKind::Uniform,
-                1.0,
-                util,
-                tasks.to_vec(),
-                duet,
-            );
-            cfg.fragmentation = fragmentation;
-            let r = run_experiment(&cfg).expect("experiment run");
-            row.push(f2(r.work_completed()));
-        }
-        report.row(&row);
+    report.print_header(sink);
+    let utils = util_grid();
+    let grid = completed_cells(
+        scale,
+        personality,
+        &utils,
+        tasks,
+        fragmentation,
+        pool::jobs(),
+    )?;
+    for (util, done) in utils.iter().zip(grid) {
+        let mut row = vec![f2(*util)];
+        row.extend(done.iter().map(|&v| f2(v)));
+        report.row(sink, &row);
     }
-    report
+    Ok(report)
 }

@@ -1,0 +1,89 @@
+//! Golden tests for the tentpole claim: sweeps produce *byte-identical*
+//! results at any worker count. Each cell is a self-contained seeded
+//! simulation, results are collected by cell index, so `DUET_JOBS=1`
+//! and `DUET_JOBS=4` (here: explicit `jobs` arguments 1 and 4, which is
+//! what the env var feeds) must agree to the last bit — both in the raw
+//! `f64`s (compared via `to_bits`, not approximate equality) and in the
+//! formatted report rows that become the CSVs.
+
+use bench::f2;
+use bench::sweeps::{completed_cells, saved_cells};
+use experiments::{DeviceKind, TaskKind};
+use workloads::{DistKind, Personality};
+
+/// Tiny scale: the paper setup shrunk 512× keeps each cell to a few
+/// milliseconds while still exercising the full runner.
+const SCALE: u64 = 512;
+
+fn bits(grid: &[Vec<f64>]) -> Vec<Vec<u64>> {
+    grid.iter()
+        .map(|row| row.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+fn render(grid: &[Vec<f64>], utils: &[f64]) -> Vec<String> {
+    utils
+        .iter()
+        .zip(grid)
+        .map(|(u, row)| {
+            let mut cols = vec![f2(*u)];
+            cols.extend(row.iter().map(|&v| f2(v)));
+            cols.join("\t")
+        })
+        .collect()
+}
+
+#[test]
+fn saved_sweep_is_byte_identical_at_any_width() {
+    let utils = [0.2, 0.6];
+    let overlaps = [0.5, 1.0];
+    let run = |jobs: usize| {
+        saved_cells(
+            SCALE,
+            DeviceKind::Hdd,
+            Personality::WebServer,
+            DistKind::Uniform,
+            &utils,
+            &overlaps,
+            &[TaskKind::Scrub],
+            None,
+            jobs,
+        )
+        .expect("sweep")
+    };
+    let sequential = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        bits(&sequential),
+        bits(&parallel),
+        "raw f64 bits differ between jobs=1 and jobs=4"
+    );
+    assert_eq!(
+        render(&sequential, &utils),
+        render(&parallel, &utils),
+        "formatted report rows differ between jobs=1 and jobs=4"
+    );
+    // And the grid is not degenerate: some cell saved some I/O.
+    assert!(sequential.iter().flatten().any(|&v| v > 0.0));
+}
+
+#[test]
+fn completed_sweep_is_byte_identical_at_any_width() {
+    let utils = [0.0, 0.3, 0.6];
+    let run = |jobs: usize| {
+        completed_cells(
+            SCALE,
+            Personality::WebServer,
+            &utils,
+            &[TaskKind::Scrub, TaskKind::Backup],
+            None,
+            jobs,
+        )
+        .expect("sweep")
+    };
+    let sequential = run(1);
+    let parallel = run(4);
+    assert_eq!(bits(&sequential), bits(&parallel));
+    assert_eq!(render(&sequential, &utils), render(&parallel, &utils));
+    assert!(sequential.iter().flatten().any(|&v| v > 0.0));
+}

@@ -11,16 +11,22 @@
 //! - [`metrics`]: the Table 4 metrics — *I/O saved*, *maximum
 //!   utilization* and *speedup*;
 //! - [`presets`]: scaled-down versions of the paper's 50 GB / 300 GB /
-//!   2 GB / 30-minute setup that keep its ratios.
+//!   2 GB / 30-minute setup that keep its ratios;
+//! - [`profile`]: the §6.1.2 unthrottled profiling pass and its memo
+//!   ([`profile::ProfileCache`]), used by the sweep drivers to seed the
+//!   workload throttle once per workload shape instead of
+//!   re-calibrating in every cell.
 
 pub mod config;
 pub mod metrics;
 pub mod presets;
+pub mod profile;
 pub mod runner;
 
 pub use config::{DeviceKind, ExperimentConfig, TaskKind};
 pub use metrics::{max_utilization, speedup, ExperimentResult, TaskOutcome};
 pub use presets::paper_scaled;
+pub use profile::{profile_unthrottled, run_experiment_cached, ProfileCache, ProfileKey};
 pub use runner::{
     run_experiment,
     run_gc_experiment,

@@ -1,7 +1,7 @@
 //! Experiment results and the paper's evaluation metrics (Table 4).
 
 use duet_tasks::TaskMetrics;
-use sim_core::{SimDuration, SimInstant};
+use sim_core::{SimDuration, SimInstant, SimResult};
 
 /// Outcome of one maintenance task in a run.
 #[derive(Debug, Clone)]
@@ -89,15 +89,17 @@ impl ExperimentResult {
 /// Finds the **maximum utilization** (Table 4): the highest target
 /// utilization, stepped in 10 % intervals, at which `run` reports all
 /// maintenance work completed. Returns the utilization as a fraction
-/// (e.g. 0.7), or `None` if even an idle device fails.
-pub fn max_utilization<F>(mut run: F) -> Option<f64>
+/// (e.g. 0.7), or `Ok(None)` if even an idle device fails. A `run`
+/// error aborts the search and propagates (so a failed cell surfaces
+/// instead of silently truncating the table).
+pub fn max_utilization<F>(mut run: F) -> SimResult<Option<f64>>
 where
-    F: FnMut(f64) -> bool,
+    F: FnMut(f64) -> SimResult<bool>,
 {
     let mut best = None;
     for step in 0..=10 {
         let util = step as f64 / 10.0;
-        if run(util) {
+        if run(util)? {
             best = Some(util);
         } else if step > 0 {
             // Completion is monotone in utilization; stop at the first
@@ -105,7 +107,7 @@ where
             break;
         }
     }
-    best
+    Ok(best)
 }
 
 /// The **speedup** metric (Table 4): baseline time over Duet time.
@@ -181,12 +183,21 @@ mod tests {
     #[test]
     fn max_utilization_search() {
         // Completes up to 70 %.
-        let got = max_utilization(|u| u <= 0.7 + 1e-9);
-        assert_eq!(got, Some(0.7));
+        let got = max_utilization(|u| Ok(u <= 0.7 + 1e-9));
+        assert_eq!(got, Ok(Some(0.7)));
         // Never completes.
-        assert_eq!(max_utilization(|_| false), None);
+        assert_eq!(max_utilization(|_| Ok(false)), Ok(None));
         // Always completes.
-        assert_eq!(max_utilization(|_| true), Some(1.0));
+        assert_eq!(max_utilization(|_| Ok(true)), Ok(Some(1.0)));
+        // Errors propagate instead of truncating the search.
+        let err = max_utilization(|u| {
+            if u > 0.2 {
+                Err(sim_core::SimError::Unsupported("boom"))
+            } else {
+                Ok(true)
+            }
+        });
+        assert!(err.is_err());
     }
 
     #[test]

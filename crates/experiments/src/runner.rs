@@ -39,7 +39,7 @@ const WB_PERIOD: SimDuration = SimDuration::from_secs(1);
 /// Pages per writeback batch.
 const WB_BATCH: usize = 1024;
 
-fn build_disk(kind: DeviceKind, capacity: u64) -> Disk {
+pub(crate) fn build_disk(kind: DeviceKind, capacity: u64) -> Disk {
     match kind {
         DeviceKind::Hdd => Disk::new(Box::new(HddModel::sas_10k(capacity))),
         DeviceKind::Ssd => Disk::new(Box::new(SsdModel::intel_510(capacity))),
@@ -87,13 +87,29 @@ fn maybe_writeback(
 /// Runs one Btrfs-model experiment to completion of the window (or of
 /// all maintenance work, when there is no foreground workload).
 pub fn run_experiment(cfg: &ExperimentConfig) -> SimResult<ExperimentResult> {
+    run_experiment_seeded(cfg, None)
+}
+
+/// [`run_experiment`] with an optional profiled busy-per-op seed for
+/// the workload throttle (see [`crate::profile`]). `None` preserves the
+/// legacy bootstrap-from-first-op behaviour exactly.
+pub(crate) fn run_experiment_seeded(
+    cfg: &ExperimentConfig,
+    profiled_busy_per_op: Option<f64>,
+) -> SimResult<ExperimentResult> {
     let disk = build_disk(cfg.device, cfg.capacity_blocks);
     let mut fs = BtrfsSim::new(sim_core::DeviceId(0), disk, cfg.cache_pages);
     let mut duet = Duet::with_defaults();
 
     // Population (free of simulated I/O).
     let mut workload = match cfg.workload {
-        Some(wcfg) => Some(Workload::setup(&mut fs, wcfg, cfg.fileset)?),
+        Some(wcfg) => {
+            let mut w = Workload::setup(&mut fs, wcfg, cfg.fileset)?;
+            if let Some(ns) = profiled_busy_per_op {
+                w.seed_busy_per_op(ns);
+            }
+            Some(w)
+        }
         None => {
             populate_fileset(&mut fs, cfg.fileset, cfg.seed)?;
             None

@@ -139,8 +139,8 @@ fn max_utilization_improves_with_duet() {
             .unwrap()
             .all_completed()
     };
-    let base = max_utilization(|u| run_mode(false, u));
-    let duet = max_utilization(|u| run_mode(true, u));
+    let base = max_utilization(|u| Ok(run_mode(false, u))).unwrap();
+    let duet = max_utilization(|u| Ok(run_mode(true, u))).unwrap();
     let b = base.expect("baseline completes on an idle device");
     let d = duet.expect("duet completes on an idle device");
     assert!(d >= b, "duet max util {d} < baseline {b}");

@@ -497,9 +497,9 @@ impl BtrfsSim {
         Ok(stats)
     }
 
-    /// Number of dirty pages in the cache.
+    /// Number of dirty pages in the cache (O(1)).
     pub fn dirty_pages(&self) -> usize {
-        self.cache.iter().filter(|m| m.dirty).count()
+        self.cache.dirty_len()
     }
 
     /// FIBMAP: logical page of a file → physical block (§4.2).

@@ -12,8 +12,9 @@
 //! requests, then record the flush here.
 
 use crate::page::{PageEvent, PageKey, PageMeta};
-use sim_core::{BlockNr, InodeNr};
+use sim_core::{BlockNr, InodeNr, PageIndex};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::ops::RangeInclusive;
 
 /// Cache hit/miss and traffic statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -60,6 +61,11 @@ pub struct PageCache {
     entries: BTreeMap<PageKey, Entry>,
     /// LRU order: ascending tick = least recently used first.
     lru: BTreeMap<u64, PageKey>,
+    /// Dirty subset of `lru`, same tick keys. Keeps `writeback_batch`
+    /// proportional to the batch size instead of the cache size, and
+    /// makes the dirty-page count O(1); must mirror every dirty-bit and
+    /// tick transition of `entries`.
+    dirty_lru: BTreeMap<u64, PageKey>,
     tick: u64,
     events: VecDeque<(PageMeta, PageEvent)>,
     stats: CacheStats,
@@ -86,6 +92,7 @@ impl PageCache {
             capacity,
             entries: BTreeMap::new(),
             lru: BTreeMap::new(),
+            dirty_lru: BTreeMap::new(),
             tick: 0,
             events: VecDeque::new(),
             stats: CacheStats::default(),
@@ -156,9 +163,19 @@ impl PageCache {
             return;
         };
         self.lru.remove(&e.tick);
+        self.dirty_lru.remove(&e.tick);
         self.tick += 1;
         e.tick = self.tick;
         self.lru.insert(self.tick, key);
+        if e.dirty {
+            self.dirty_lru.insert(self.tick, key);
+        }
+    }
+
+    /// Key range covering every possible page of `ino` (keys order
+    /// inode-major, so a file's pages are contiguous in `entries`).
+    fn file_range(ino: InodeNr) -> RangeInclusive<PageKey> {
+        PageKey::new(ino, PageIndex(0))..=PageKey::new(ino, PageIndex(u64::MAX))
     }
 
     fn push_event(&mut self, meta: PageMeta, ev: PageEvent) {
@@ -216,6 +233,9 @@ impl PageCache {
         };
         self.entries.insert(key, entry);
         self.lru.insert(self.tick, key);
+        if dirty {
+            self.dirty_lru.insert(self.tick, key);
+        }
         self.ino_inc(key.ino);
         self.stats.insertions += 1;
         let meta = Self::meta(key, &entry);
@@ -271,6 +291,9 @@ impl PageCache {
             let Some(e) = self.entries.remove(&victim) else {
                 continue;
             };
+            if e.dirty {
+                self.dirty_lru.remove(&e.tick);
+            }
             self.ino_dec(victim.ino);
             let before = Self::meta(victim, &e);
             if e.dirty {
@@ -321,19 +344,21 @@ impl PageCache {
     /// first. The pages are marked clean and `Flushed` events are
     /// emitted; the caller must issue the corresponding device writes.
     pub fn writeback_batch(&mut self, max: usize) -> Vec<PageMeta> {
-        let victims: Vec<PageKey> = self
-            .lru
-            .values()
-            .copied()
-            .filter(|k| self.entries[k].dirty)
+        // The dirty index is tick-ordered, so its prefix *is* the
+        // oldest-first dirty scan — no pass over clean entries.
+        let victims: Vec<(u64, PageKey)> = self
+            .dirty_lru
+            .iter()
             .take(max)
+            .map(|(&t, &k)| (t, k))
             .collect();
         let mut out = Vec::with_capacity(victims.len());
-        for key in victims {
+        for (tick, key) in victims {
             let Some(e) = self.entries.get_mut(&key) else {
                 continue;
             };
             e.dirty = false;
+            self.dirty_lru.remove(&tick);
             self.stats.writebacks += 1;
             let meta = Self::meta(key, e);
             self.push_event(meta, PageEvent::Flushed);
@@ -347,8 +372,8 @@ impl PageCache {
     pub fn flush_file(&mut self, ino: InodeNr) -> Vec<PageMeta> {
         let victims: Vec<PageKey> = self
             .entries
-            .iter()
-            .filter(|(k, e)| k.ino == ino && e.dirty)
+            .range(Self::file_range(ino))
+            .filter(|(_, e)| e.dirty)
             .map(|(k, _)| *k)
             .collect();
         let mut out = Vec::with_capacity(victims.len());
@@ -357,6 +382,7 @@ impl PageCache {
                 continue;
             };
             e.dirty = false;
+            self.dirty_lru.remove(&e.tick);
             self.stats.writebacks += 1;
             let meta = Self::meta(key, e);
             self.push_event(meta, PageEvent::Flushed);
@@ -371,9 +397,8 @@ impl PageCache {
     pub fn remove_file(&mut self, ino: InodeNr) -> Vec<PageMeta> {
         let victims: Vec<PageKey> = self
             .entries
-            .keys()
-            .filter(|k| k.ino == ino)
-            .copied()
+            .range(Self::file_range(ino))
+            .map(|(k, _)| *k)
             .collect();
         let mut out = Vec::with_capacity(victims.len());
         for key in victims {
@@ -390,6 +415,9 @@ impl PageCache {
         let e = self.entries.remove(&key)?;
         self.ino_dec(key.ino);
         self.lru.remove(&e.tick);
+        if e.dirty {
+            self.dirty_lru.remove(&e.tick);
+        }
         let meta = Self::meta(key, &e);
         self.push_event(meta, PageEvent::Removed);
         Some(meta)
@@ -412,10 +440,15 @@ impl PageCache {
             return Vec::new();
         }
         self.entries
-            .iter()
-            .filter(|(k, _)| k.ino == ino)
+            .range(Self::file_range(ino))
             .map(|(k, e)| Self::meta(*k, e))
             .collect()
+    }
+
+    /// Number of dirty pages (O(1); the writeback high-water check runs
+    /// every simulation step).
+    pub fn dirty_len(&self) -> usize {
+        self.dirty_lru.len()
     }
 
     /// Drains and returns all pending page events in occurrence order.
@@ -666,7 +699,7 @@ mod tests {
                 let cap = rng.gen_range(1, 8) as usize;
                 let mut c = PageCache::new(cap);
                 for _ in 0..rng.gen_range(0, 200) {
-                    let op = rng.gen_range(0, 5);
+                    let op = rng.gen_range(0, 8);
                     let ino = rng.gen_range(0, 6);
                     let idx = rng.gen_range(0, 4);
                     let k = key(ino, idx);
@@ -683,8 +716,17 @@ mod tests {
                         3 => {
                             c.mark_dirty(k);
                         }
-                        _ => {
+                        4 => {
                             c.remove(k);
+                        }
+                        5 => {
+                            c.writeback_batch(idx as usize + 1);
+                        }
+                        6 => {
+                            c.flush_file(InodeNr(ino));
+                        }
+                        _ => {
+                            c.remove_file(InodeNr(ino));
                         }
                     }
                     assert!(c.len() <= cap);
@@ -693,6 +735,9 @@ mod tests {
                     let scan = c.iter().filter(|m| m.key.ino == InodeNr(ino)).count();
                     assert_eq!(c.pages_of(InodeNr(ino)), scan);
                     assert_eq!(c.pages_of_file(InodeNr(ino)).len(), scan);
+                    // The O(1) dirty counter agrees with a scan.
+                    let dirty_scan = c.iter().filter(|m| m.dirty).count();
+                    assert_eq!(c.dirty_len(), dirty_scan);
                 }
             }
         }

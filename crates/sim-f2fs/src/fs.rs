@@ -597,9 +597,9 @@ impl F2fsSim {
         Ok(stats)
     }
 
-    /// Number of dirty pages in the cache.
+    /// Number of dirty pages in the cache (O(1)).
     pub fn dirty_pages(&self) -> usize {
-        self.cache.iter().filter(|m| m.dirty).count()
+        self.cache.dirty_len()
     }
 
     // ----- population -----------------------------------------------------

@@ -137,6 +137,9 @@ pub struct Workload {
     next_issue: SimInstant,
     /// EMA of device busy nanoseconds added per operation.
     busy_per_op_ema: f64,
+    /// Whether `busy_per_op_ema` was seeded from a profiling pass
+    /// (§6.1.2) instead of the first operation's measurement.
+    profiled: bool,
     prev_busy: SimDuration,
     /// Operations issued in the current burst.
     in_burst: u32,
@@ -190,6 +193,7 @@ impl Workload {
             log_ino,
             next_issue: SimInstant::EPOCH,
             busy_per_op_ema: 0.0,
+            profiled: false,
             prev_busy: SimDuration::ZERO,
             in_burst: 0,
             burst_start: SimInstant::EPOCH,
@@ -198,6 +202,19 @@ impl Workload {
             name_counter: 0,
             stats: WorkloadStats::default(),
         })
+    }
+
+    /// Seeds the throttle's busy-per-op estimate from a profiling pass
+    /// (§6.1.2: personalities are profiled without maintenance load and
+    /// the measured schedule is replayed). A seeded estimate replaces
+    /// the first operation's raw measurement as the EMA's initial
+    /// condition; later operations blend into it as usual. Non-finite
+    /// or non-positive values are ignored.
+    pub fn seed_busy_per_op(&mut self, ns_per_op: f64) {
+        if ns_per_op.is_finite() && ns_per_op > 0.0 {
+            self.busy_per_op_ema = ns_per_op;
+            self.profiled = true;
+        }
     }
 
     /// The populated files (for overlap bookkeeping by experiments).
@@ -261,7 +278,7 @@ impl Workload {
         let busy = fs.foreground_busy();
         let delta = busy.saturating_sub(self.prev_busy).as_nanos() as f64;
         self.prev_busy = busy;
-        self.busy_per_op_ema = if self.stats.ops <= 1 {
+        self.busy_per_op_ema = if self.stats.ops <= 1 && !self.profiled {
             delta
         } else {
             0.9 * self.busy_per_op_ema + 0.1 * delta
@@ -442,6 +459,27 @@ mod tests {
                 assert_eq!(f.ino, before[i], "untouched file changed identity");
             }
         }
+    }
+
+    #[test]
+    fn profiled_seed_replaces_first_op_measurement() {
+        let mut fs = btrfs(1 << 16, 1024);
+        let mut wl = Workload::setup(&mut fs, WorkloadConfig::default(), small_fileset()).unwrap();
+        wl.seed_busy_per_op(f64::NAN);
+        wl.seed_busy_per_op(-1.0);
+        assert!(!wl.profiled, "invalid seeds ignored");
+        let seed_ns = 1_000_000.0;
+        wl.seed_busy_per_op(seed_ns);
+        assert!(wl.profiled);
+        assert_eq!(wl.busy_per_op_ema, seed_ns);
+        wl.run_op(&mut fs, SimInstant::EPOCH).unwrap();
+        // The first op blends into the seeded EMA (0.9 weight) instead
+        // of overwriting it with its raw measurement.
+        assert!(
+            wl.busy_per_op_ema >= 0.9 * seed_ns,
+            "ema {} lost the profile seed",
+            wl.busy_per_op_ema
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! | D1 | no wall clock (`Instant::now`, `SystemTime`, `std::time`) — virtual `sim_core::clock` only | every crate except `xtask` |
 //! | D2 | no `HashMap`/`HashSet` where iteration order can leak into event delivery or results — `BTreeMap`/`BTreeSet`, or waive with `// lint: sorted` | sim/framework/experiment crates |
 //! | D3 | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in library code — route through `sim_core::error` | sim/framework/experiment crates |
-//! | D4 | no ambient state: `static mut`, `thread::spawn`, `process::exit` | sim/framework/experiment crates |
+//! | D4 | no ambient state: `static mut`, `thread::spawn`, `thread::scope`, `process::exit` | sim/framework/experiment crates, plus the bench harness (its one sanctioned `thread::scope` use, `bench::pool`, is waived in `lint.allow`) |
 //!
 //! Test code is exempt everywhere: `#[cfg(test)]` / `#[test]` items,
 //! `*_tests.rs` files, and anything under `tests/`, `benches/` or
@@ -94,12 +94,15 @@ impl RuleSet {
         d3: true,
         d4: true,
     };
-    /// Only the wall-clock rule (the bench harness).
-    pub const D1_ONLY: RuleSet = RuleSet {
+    /// Wall-clock and ambient-state rules (the bench harness): harness
+    /// code may panic freely, but must not smuggle wall-clock time into
+    /// simulated results, and any thread use outside the sanctioned
+    /// `bench::pool` waiver is a violation.
+    pub const BENCH: RuleSet = RuleSet {
         d1: true,
         d2: false,
         d3: false,
-        d4: false,
+        d4: true,
     };
     pub fn is_empty(&self) -> bool {
         !(self.d1 || self.d2 || self.d3 || self.d4)
@@ -144,9 +147,10 @@ pub fn classify(rel: &str) -> Option<RuleSet> {
         return Some(RuleSet::FULL);
     }
     // The bench harness runs real experiments and may panic freely, but
-    // must not smuggle wall-clock time into simulated results.
+    // must not smuggle wall-clock time into simulated results, and its
+    // only threads must be the sanctioned `bench::pool` workers.
     if rel.starts_with("crates/bench/src/") {
-        return Some(RuleSet::D1_ONLY);
+        return Some(RuleSet::BENCH);
     }
     None
 }
@@ -369,6 +373,13 @@ pub fn lint_source(rel: &str, src: &str, rules: RuleSet, allow: &[AllowEntry]) -
                     Rule::D4,
                     "thread::spawn".into(),
                     "`thread::spawn` in simulation code breaks determinism".into(),
+                )),
+                "thread" if tok(i + 1) == ":" && tok(i + 3) == "scope" => raw.push((
+                    i,
+                    Rule::D4,
+                    "thread::scope".into(),
+                    "`thread::scope` outside the sanctioned `bench::pool` breaks determinism"
+                        .into(),
                 )),
                 "process" if tok(i + 1) == ":" && tok(i + 3) == "exit" => raw.push((
                     i,

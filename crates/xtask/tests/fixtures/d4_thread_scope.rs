@@ -1,0 +1,10 @@
+// Fixture: scoped threads are still ambient state in simulation code
+// (D4) — only `bench::pool` carries a sanctioned waiver.
+pub fn fan_out() -> u64 {
+    let mut total = 0;
+    std::thread::scope(|s| {
+        let h = s.spawn(|| 21);
+        total = h.join().unwrap_or(0) * 2;
+    });
+    total
+}

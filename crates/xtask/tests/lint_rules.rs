@@ -54,6 +54,17 @@ fn d4_flags_ambient_state() {
 }
 
 #[test]
+fn d4_flags_scoped_threads() {
+    // `thread::scope` is as ambient as `thread::spawn`; the `s.spawn`
+    // inside the scope body is a method call, not `thread::spawn`, and
+    // must not double-report.
+    let v = lint_fixture("d4_thread_scope.rs");
+    assert!(v.iter().all(|x| x.rule == Rule::D4), "{v:?}");
+    let tokens: Vec<&str> = v.iter().map(|x| x.token.as_str()).collect();
+    assert_eq!(tokens, vec!["thread::scope"]);
+}
+
+#[test]
 fn clean_code_passes_and_waivers_apply() {
     let v = lint_fixture("clean.rs");
     assert!(v.is_empty(), "false positives: {v:?}");
@@ -107,11 +118,13 @@ fn scoping_matches_policy() {
     );
     assert_eq!(classify("crates/sim-btrfs/src/fs.rs"), Some(RuleSet::FULL));
     assert_eq!(classify("src/lib.rs"), Some(RuleSet::FULL));
-    // Bench harness: wall-clock rule only.
+    // Bench harness: wall-clock and ambient-state rules (the pool's
+    // `thread::scope` is waived centrally, not descoped).
     assert_eq!(
         classify("crates/bench/src/bin/fig9_cpu_overhead.rs"),
-        Some(RuleSet::D1_ONLY)
+        Some(RuleSet::BENCH)
     );
+    assert_eq!(classify("crates/bench/src/pool.rs"), Some(RuleSet::BENCH));
     // Out of scope: tests, benches, examples, fixtures, the linter.
     assert_eq!(classify("tests/end_to_end.rs"), None);
     assert_eq!(classify("crates/core/src/framework_tests.rs"), None);

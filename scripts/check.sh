@@ -3,6 +3,7 @@
 # has no external dependencies, so no registry access is needed).
 #
 #   fmt --check  →  clippy -D warnings  →  xtask lint  →  cargo test
+#   →  repro_all smoke (tiny scale, 2 jobs)
 #
 # Each step must pass before the next runs; the script exits non-zero
 # on the first failure.
@@ -21,5 +22,11 @@ cargo run -q -p xtask -- lint
 
 echo "==> cargo test --workspace"
 cargo test -q --workspace
+
+echo "==> repro_all smoke (DUET_SCALE=512 DUET_JOBS=2, time-bounded)"
+cargo build -q --release -p bench --bin repro_all
+timeout 600 env DUET_SCALE=512 DUET_JOBS=2 ./target/release/repro_all \
+    fig2_scrub_saved fig6_scrub_backup_completed fig9_cpu_overhead > /dev/null
+test -s results/BENCH_sweeps.json
 
 echo "==> all checks passed"
