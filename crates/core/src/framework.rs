@@ -6,6 +6,7 @@ use crate::events::{transition, EventMask, ItemFlags};
 use crate::fs_view::FsIntrospect;
 use crate::session::{Item, ItemId, Session, SessionId, TaskScope};
 use sim_cache::{PageEvent, PageKey, PageMeta};
+use sim_core::fault::{FaultHandle, FaultSite};
 use sim_core::{InodeNr, SimError, SimResult, PAGE_SIZE};
 use std::collections::BTreeMap;
 
@@ -55,6 +56,9 @@ pub struct Duet {
     descriptors: BTreeMap<InodeNr, BTreeMap<u64, Descriptor>>,
     ndesc: usize,
     stats: DuetStats,
+    /// Fault-injection handle; `None` (or a quiet plan) behaves
+    /// byte-identically to an unfaulted framework.
+    faults: Option<FaultHandle>,
 }
 
 impl Duet {
@@ -67,7 +71,15 @@ impl Duet {
             descriptors: BTreeMap::new(),
             ndesc: 0,
             stats: DuetStats::default(),
+            faults: None,
         }
+    }
+
+    /// Arms (or disarms, with `None`) fault injection: forced session
+    /// exhaustion in [`Duet::register`], forced path failures in
+    /// [`Duet::get_path`], and session churn on page events.
+    pub fn set_faults(&mut self, faults: Option<FaultHandle>) {
+        self.faults = faults;
     }
 
     /// Creates a framework with default configuration.
@@ -146,6 +158,14 @@ impl Duet {
                 )));
             }
         }
+        // Injected session-slot exhaustion: the table reports itself
+        // full even though a slot may be free; a well-behaved task
+        // degrades to its unassisted (baseline) path, §3.2.
+        if let Some(faults) = &self.faults {
+            if faults.fire(FaultSite::DuetSessionExhaustion) {
+                return Err(SimError::TooManySessions);
+            }
+        }
         let slot = self
             .sessions
             .iter()
@@ -213,6 +233,50 @@ impl Duet {
         });
         self.ndesc -= freed;
         Ok(())
+    }
+
+    /// Deregisters and immediately re-registers a session into the same
+    /// slot (same id, scope and mask), re-running the registration
+    /// scan. Models mid-run session churn: all framework-side state —
+    /// queued events, `done` and `relevant` bitmaps, pending
+    /// descriptors — is lost, exactly as if the task had called
+    /// `duet_deregister` + `duet_register`; only the task's own
+    /// progress survives (§3.2's crash-tolerance argument).
+    pub fn churn_session(&mut self, sid: SessionId, fs: &dyn FsIntrospect) -> SimResult<()> {
+        let (scope, mask) = {
+            let sess = self.session_ref(sid)?;
+            (sess.scope, sess.mask)
+        };
+        self.deregister(sid)?;
+        let slot = sid.0 as usize;
+        self.sessions[slot] = Some(Session::new(scope, mask));
+        for meta in fs.cached_pages() {
+            self.scan_page(slot, meta, fs);
+        }
+        Ok(())
+    }
+
+    /// Injected session churn: on a deterministic subset of page events
+    /// an active session (chosen from the fault stream) is torn down
+    /// and re-registered before the event is processed.
+    fn maybe_churn(&mut self, fs: &dyn FsIntrospect) {
+        let Some(faults) = &self.faults else {
+            return;
+        };
+        if !faults.fire(FaultSite::DuetSessionChurn) {
+            return;
+        }
+        let active: Vec<u32> = (0..self.cfg.max_sessions as u32)
+            .filter(|&s| self.sessions[s as usize].is_some())
+            .collect();
+        if active.is_empty() {
+            return;
+        }
+        let pick = faults.amplitude(FaultSite::DuetSessionChurn, 0, active.len() as u64);
+        let sid = SessionId(active[pick as usize]);
+        // The session exists (picked from the active set), so the only
+        // failure mode is a poisoned scan; churn is best-effort.
+        let _ = self.churn_session(sid, fs);
     }
 
     // ----- event intake ----------------------------------------------------
@@ -319,6 +383,7 @@ impl Duet {
     /// The page-cache hook (§4.1): called for every page event, in
     /// order. `meta` is the page's state as of the event.
     pub fn handle_page_event(&mut self, meta: PageMeta, ev: PageEvent, fs: &dyn FsIntrospect) {
+        self.maybe_churn(fs);
         self.stats.events_processed += 1;
         let ((pre_e, pre_m), (post_e, post_m)) = transition(ev, meta.dirty);
         let interest = Self::interest_of(ev);
@@ -615,6 +680,14 @@ impl Duet {
         let TaskScope::File { registered_dir } = sess.scope else {
             return Err(SimError::Unsupported("get_path on a block task"));
         };
+        // Injected path failure: a deterministic subset of calls fail
+        // as if the pages were reclaimed between the hint and the
+        // lookup; the caller must back out and re-enqueue (§3.2).
+        if let Some(faults) = &self.faults {
+            if faults.fire(FaultSite::DuetPathUnavailable) {
+                return Err(SimError::PathNotAvailable(ino));
+            }
+        }
         if !fs.has_cached_pages(ino) {
             return Err(SimError::PathNotAvailable(ino));
         }

@@ -864,3 +864,101 @@ fn delete_clears_bitmap_state() {
     duet.handle_delete(f);
     assert!(!duet.check_done(sid, ItemId::Inode(f)).unwrap());
 }
+
+// ----- fault injection -----------------------------------------------------
+
+mod faults {
+    use super::*;
+    use sim_core::fault::{FaultHandle, FaultPlan, FaultSite};
+
+    fn file_scope() -> TaskScope {
+        TaskScope::File {
+            registered_dir: ROOT,
+        }
+    }
+
+    #[test]
+    fn forced_session_exhaustion_despite_free_slots() {
+        let fs = MockFs::new();
+        let mut duet = Duet::with_defaults();
+        let plan = FaultPlan::quiet().with_ppm(FaultSite::DuetSessionExhaustion, 1_000_000);
+        let handle = FaultHandle::new(3, plan);
+        duet.set_faults(Some(handle.clone()));
+        let err = duet
+            .register(file_scope(), EventMask::EXISTS, &fs)
+            .unwrap_err();
+        assert_eq!(err, SimError::TooManySessions);
+        assert_eq!(handle.fired(FaultSite::DuetSessionExhaustion), 1);
+        assert_eq!(duet.session_count(), 0);
+        // Disarmed, the same register succeeds: the slot was never used.
+        duet.set_faults(None);
+        duet.register(file_scope(), EventMask::EXISTS, &fs).unwrap();
+    }
+
+    #[test]
+    fn forced_path_unavailable_on_get_path() {
+        let mut fs = MockFs::new();
+        let f = fs.add(10, ROOT, "f");
+        fs.cache_page(f, 0, Some(5), false);
+        let mut duet = Duet::with_defaults();
+        let sid = duet.register(file_scope(), EventMask::EXISTS, &fs).unwrap();
+        let plan = FaultPlan::quiet().with_ppm(FaultSite::DuetPathUnavailable, 1_000_000);
+        let handle = FaultHandle::new(4, plan);
+        duet.set_faults(Some(handle.clone()));
+        // The file is cached and in scope, yet the forced fault makes
+        // get_path report it unavailable — the §3.2 back-out trigger.
+        let err = duet.get_path(sid, f, &fs).unwrap_err();
+        assert_eq!(err, SimError::PathNotAvailable(f));
+        assert!(handle.fired(FaultSite::DuetPathUnavailable) >= 1);
+        duet.set_faults(None);
+        assert_eq!(duet.get_path(sid, f, &fs).unwrap(), "f");
+    }
+
+    #[test]
+    fn churn_keeps_sid_valid_but_resets_framework_state() {
+        let mut fs = MockFs::new();
+        let f = fs.add(10, ROOT, "f");
+        fs.cache_page(f, 0, Some(5), false);
+        let mut duet = Duet::with_defaults();
+        let sid = duet.register(file_scope(), EventMask::EXISTS, &fs).unwrap();
+        // Drain the registration-scan item, then mark it done.
+        let items = duet.fetch(sid, 16, &fs).unwrap();
+        assert_eq!(items.len(), 1);
+        duet.set_done(sid, ItemId::Inode(f)).unwrap();
+        assert!(duet.check_done(sid, ItemId::Inode(f)).unwrap());
+        // Churn: same sid, fresh session — done bitmap and queue are
+        // gone, and the re-registration scan re-seeds the cached page.
+        duet.churn_session(sid, &fs).unwrap();
+        assert_eq!(duet.session_count(), 1);
+        assert!(!duet.check_done(sid, ItemId::Inode(f)).unwrap());
+        let items = duet.fetch(sid, 16, &fs).unwrap();
+        assert_eq!(items.len(), 1, "rescan re-delivers the cached page");
+        assert_eq!(items[0].id, ItemId::Inode(f));
+    }
+
+    #[test]
+    fn churn_fault_fires_on_page_events() {
+        let mut fs = MockFs::new();
+        let f = fs.add(10, ROOT, "f");
+        let mut duet = Duet::with_defaults();
+        let sid = duet.register(file_scope(), EventMask::EXISTS, &fs).unwrap();
+        let plan = FaultPlan::quiet().with_ppm(FaultSite::DuetSessionChurn, 1_000_000);
+        let handle = FaultHandle::new(5, plan);
+        duet.set_faults(Some(handle.clone()));
+        duet.handle_page_event(meta(f, 0, Some(1), false), PageEvent::Added, &fs);
+        assert_eq!(handle.fired(FaultSite::DuetSessionChurn), 1);
+        // The session survived the churn and processed the event.
+        let items = duet.fetch(sid, 16, &fs).unwrap();
+        assert_eq!(items.len(), 1);
+    }
+
+    #[test]
+    fn churn_of_invalid_session_is_an_error() {
+        let fs = MockFs::new();
+        let mut duet = Duet::with_defaults();
+        let err = duet
+            .churn_session(crate::session::SessionId(9), &fs)
+            .unwrap_err();
+        assert_eq!(err, SimError::InvalidSession(9));
+    }
+}

@@ -35,6 +35,9 @@ pub struct ResidencyTracker {
     policy: Priority,
     resident: BTreeMap<InodeNr, u64>,
     queue: PrioQueue<u64, u64>,
+    /// Last priority each file was queued at, so a task that pops a
+    /// file and then backs out (stale hint, §3.2) can re-enqueue it.
+    last_prio: BTreeMap<InodeNr, u64>,
 }
 
 impl ResidencyTracker {
@@ -44,6 +47,7 @@ impl ResidencyTracker {
             policy,
             resident: BTreeMap::new(),
             queue: PrioQueue::new(),
+            last_prio: BTreeMap::new(),
         }
     }
 
@@ -66,6 +70,7 @@ impl ResidencyTracker {
                 Priority::TouchedOnly => {
                     if item.flags.contains(ItemFlags::EXISTS) {
                         self.queue.upsert(ino.raw(), 1);
+                        self.last_prio.insert(ino, 1);
                     }
                 }
                 Priority::ResidentPages | Priority::ResidentFraction => {
@@ -86,8 +91,10 @@ impl ResidencyTracker {
                     };
                     if prio == 0 {
                         self.queue.remove(ino.raw());
+                        self.last_prio.remove(&ino);
                     } else {
                         self.queue.upsert(ino.raw(), prio);
+                        self.last_prio.insert(ino, prio);
                     }
                 }
             }
@@ -112,10 +119,23 @@ impl ResidencyTracker {
         self.queue.pop_max().map(|(ino, _)| InodeNr(ino))
     }
 
+    /// Re-enqueues a previously popped file at the priority it was last
+    /// queued with. This is the §3.2 back-out path: a task whose
+    /// `duet_get_path` truth check failed puts the hint back so a later
+    /// pick can retry it (the failure may be transient); if the pages
+    /// are genuinely gone, later `¬Exists` notifications or normal-order
+    /// processing retire it. No-op for files the tracker never queued.
+    pub fn requeue(&mut self, ino: InodeNr) {
+        if let Some(&prio) = self.last_prio.get(&ino) {
+            self.queue.upsert(ino.raw(), prio);
+        }
+    }
+
     /// Drops a file from the tracker (processed or abandoned).
     pub fn forget(&mut self, ino: InodeNr) {
         self.queue.remove(ino.raw());
         self.resident.remove(&ino);
+        self.last_prio.remove(&ino);
     }
 
     /// Queued files.
@@ -219,6 +239,30 @@ mod tests {
         t.update(&items, |ino| ino.raw() == 1);
         assert_eq!(t.len(), 1);
         assert_eq!(t.pop_best(), Some(InodeNr(1)));
+    }
+
+    #[test]
+    fn requeue_restores_popped_file_at_its_priority() {
+        let mut t = ResidencyTracker::new(Priority::ResidentPages);
+        let items: Vec<Item> = (0..3)
+            .map(|i| item(7, i * 4096, ItemFlags::EXISTS))
+            .chain([item(8, 0, ItemFlags::EXISTS)])
+            .collect();
+        t.update(&items, |_| true);
+        let popped = t.pop_best().unwrap();
+        assert_eq!(popped, InodeNr(7));
+        // Back out: the file returns at its old priority, ahead of 8.
+        t.requeue(popped);
+        assert_eq!(t.pop_best(), Some(InodeNr(7)));
+        // Requeue of a never-queued file is a no-op.
+        t.requeue(InodeNr(99));
+        assert_eq!(t.pop_best(), Some(InodeNr(8)));
+        assert_eq!(t.pop_best(), None);
+        // Forgotten files cannot be requeued.
+        t.update(&[item(5, 0, ItemFlags::EXISTS)], |_| true);
+        t.forget(InodeNr(5));
+        t.requeue(InodeNr(5));
+        assert!(t.is_empty());
     }
 
     #[test]

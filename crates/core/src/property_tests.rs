@@ -8,12 +8,17 @@
 //! legal event interleaving, including the cancellation behaviour
 //! ("reverted back to the same state ... an event is not generated",
 //! §3.2).
+//!
+//! Cases are driven by the `sim_core::check` helper: each case gets a
+//! deterministic per-case RNG, and a failing case reports the exact
+//! seed that replays it.
 
 use crate::events::{EventMask, ItemFlags};
 use crate::framework::Duet;
 use crate::fs_view::FsIntrospect;
 use crate::session::TaskScope;
 use sim_cache::{PageEvent, PageKey, PageMeta};
+use sim_core::check::{forall, CheckConfig};
 use sim_core::{BlockNr, DeviceId, InodeNr, PageIndex, SimRng};
 
 /// Trivial filesystem: one file, everything relevant.
@@ -121,10 +126,10 @@ fn apply(p: &mut RefPage, ev: PageEvent) {
 /// diffs against the last report, for every interleaving.
 #[test]
 fn state_session_matches_reference() {
-    for case in 0..128u64 {
-        let mut rng = SimRng::new(0x57A7E ^ case);
+    let cfg = CheckConfig::new("state-session-matches-reference", 0x57A7E).cases(128);
+    forall(&cfg, |_case, rng| {
         let actions: Vec<Action> = (0..rng.gen_range(1, 120))
-            .map(|_| action_pick(&mut rng))
+            .map(|_| action_pick(rng))
             .collect();
         let fs = FlatFs;
         let mut duet = Duet::with_defaults();
@@ -209,17 +214,19 @@ fn state_session_matches_reference() {
         let empty = duet.fetch(sid, 64, &fs).expect("fetch");
         assert!(empty.is_empty());
         assert_eq!(duet.descriptor_count(), 0);
-    }
+        Ok(())
+    })
+    .unwrap();
 }
 
 /// Event sessions: fetched flag bits are exactly the union of
 /// subscribed events since the last fetch.
 #[test]
 fn event_session_matches_reference() {
-    for case in 0..128u64 {
-        let mut rng = SimRng::new(0xE4E47 ^ case);
+    let cfg = CheckConfig::new("event-session-matches-reference", 0xE4E47).cases(128);
+    forall(&cfg, |_case, rng| {
         let actions: Vec<Action> = (0..rng.gen_range(1, 120))
-            .map(|_| action_pick(&mut rng))
+            .map(|_| action_pick(rng))
             .collect();
         let fs = FlatFs;
         let mut duet = Duet::with_defaults();
@@ -281,5 +288,7 @@ fn event_session_matches_reference() {
                 }
             }
         }
-    }
+        Ok(())
+    })
+    .unwrap();
 }

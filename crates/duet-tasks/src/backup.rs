@@ -75,6 +75,12 @@ impl Backup {
         self.snap
     }
 
+    /// Blocks shipped to the backup stream, in ascending order — the
+    /// oracle's final-state digest.
+    pub fn backed_blocks(&self) -> Vec<u64> {
+        self.backed.iter().collect()
+    }
+
     fn ship(&mut self, pages: u64) {
         self.backed_up += pages;
         self.sent_bytes += pages * PAGE_SIZE;
@@ -86,7 +92,15 @@ impl Backup {
             return Ok(());
         };
         loop {
-            let items = ctx.duet.fetch(sid, FETCH_BATCH, ctx.fs)?;
+            let items = match ctx.duet.fetch(sid, FETCH_BATCH, ctx.fs) {
+                Ok(items) => items,
+                Err(SimError::InvalidSession(_)) => {
+                    // Session vanished: degrade to the plan order.
+                    self.sid = None;
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            };
             if items.is_empty() {
                 return Ok(());
             }
@@ -142,14 +156,18 @@ impl BtrfsTask for Backup {
             self.total_pages = s.total_pages();
         }
         if self.mode == TaskMode::Duet {
-            let sid = ctx.duet.register(
+            match ctx.duet.register(
                 TaskScope::Block {
                     device: ctx.fs.device(),
                 },
                 EventMask::EXISTS,
                 ctx.fs,
-            )?;
-            self.sid = Some(sid);
+            ) {
+                Ok(sid) => self.sid = Some(sid),
+                // All session slots taken: back up in plan order only.
+                Err(SimError::TooManySessions) => {}
+                Err(e) => return Err(e),
+            }
         }
         self.started = true;
         Ok(())

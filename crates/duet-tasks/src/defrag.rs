@@ -12,7 +12,7 @@
 
 use crate::task::{BtrfsCtx, BtrfsTask, StepResult, TaskMetrics, TaskMode};
 use duet::{EventMask, ItemId, Priority, ResidencyTracker, SessionId, TaskScope};
-use sim_core::{InodeNr, SimResult};
+use sim_core::{InodeNr, SimError, SimResult};
 use sim_disk::IoClass;
 use std::collections::BTreeSet;
 
@@ -95,7 +95,15 @@ impl Defrag {
             return Ok(());
         };
         loop {
-            let items = ctx.duet.fetch(sid, FETCH_BATCH, ctx.fs)?;
+            let items = match ctx.duet.fetch(sid, FETCH_BATCH, ctx.fs) {
+                Ok(items) => items,
+                Err(SimError::InvalidSession(_)) => {
+                    // Session vanished: degrade to the plan order.
+                    self.sid = None;
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            };
             if items.is_empty() {
                 return Ok(());
             }
@@ -189,14 +197,18 @@ impl BtrfsTask for Defrag {
             }
         }
         if self.mode == TaskMode::Duet {
-            let sid = ctx.duet.register(
+            match ctx.duet.register(
                 TaskScope::File {
                     registered_dir: ctx.fs.root(),
                 },
                 EventMask::EXISTS,
                 ctx.fs,
-            )?;
-            self.sid = Some(sid);
+            ) {
+                Ok(sid) => self.sid = Some(sid),
+                // All session slots taken: defrag in plan order only.
+                Err(SimError::TooManySessions) => {}
+                Err(e) => return Err(e),
+            }
         }
         self.started = true;
         Ok(())

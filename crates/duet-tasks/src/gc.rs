@@ -13,7 +13,7 @@
 
 use crate::task::{StepResult, TaskMode};
 use duet::{Duet, EventMask, ItemFlags, SessionId, TaskScope};
-use sim_core::{SegmentNr, SimInstant, SimResult};
+use sim_core::{SegmentNr, SimError, SimInstant, SimResult};
 use sim_disk::IoClass;
 use sim_f2fs::{cleaning_cost, CleanResult, F2fsSim, SegState, VictimPolicy};
 use std::collections::BTreeMap;
@@ -79,14 +79,19 @@ impl GarbageCollector {
     /// One-time setup; registers the Duet session in Duet mode.
     pub fn start(&mut self, ctx: GcCtx<'_>) -> SimResult<()> {
         if self.mode == TaskMode::Duet {
-            let sid = ctx.duet.register(
+            match ctx.duet.register(
                 TaskScope::Block {
                     device: ctx.fs.device(),
                 },
                 EventMask::EXISTS | EventMask::FLUSHED,
                 ctx.fs,
-            )?;
-            self.sid = Some(sid);
+            ) {
+                Ok(sid) => self.sid = Some(sid),
+                // All session slots taken: clean greedily without
+                // cache-residency hints.
+                Err(SimError::TooManySessions) => {}
+                Err(e) => return Err(e),
+            }
         }
         self.started = true;
         Ok(())
@@ -106,7 +111,15 @@ impl GarbageCollector {
             return Ok(());
         };
         loop {
-            let items = ctx.duet.fetch(sid, FETCH_BATCH, ctx.fs)?;
+            let items = match ctx.duet.fetch(sid, FETCH_BATCH, ctx.fs) {
+                Ok(items) => items,
+                Err(SimError::InvalidSession(_)) => {
+                    // Session vanished: degrade to cost-only cleaning.
+                    self.sid = None;
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            };
             if items.is_empty() {
                 return Ok(());
             }

@@ -123,14 +123,18 @@ impl Rsync {
             }
         }
         if self.mode == TaskMode::Duet {
-            let sid = ctx.duet.register(
+            match ctx.duet.register(
                 TaskScope::File {
                     registered_dir: self.src_dir,
                 },
                 EventMask::EXISTS,
                 ctx.src,
-            )?;
-            self.sid = Some(sid);
+            ) {
+                Ok(sid) => self.sid = Some(sid),
+                // All session slots taken: copy in plan order only.
+                Err(SimError::TooManySessions) => {}
+                Err(e) => return Err(e),
+            }
         }
         self.started = true;
         Ok(())
@@ -153,7 +157,17 @@ impl Rsync {
             return Ok(());
         };
         loop {
-            let items = ctx.duet.fetch(sid, FETCH_BATCH, ctx.src)?;
+            let items = match ctx.duet.fetch(sid, FETCH_BATCH, ctx.src) {
+                Ok(items) => items,
+                Err(SimError::InvalidSession(_)) => {
+                    // The session vanished out from under us (external
+                    // deregistration): degrade to the baseline
+                    // traversal rather than abandoning the copy.
+                    self.sid = None;
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            };
             if items.is_empty() {
                 return Ok(());
             }
@@ -196,6 +210,9 @@ impl Rsync {
     /// Picks the next file: opportunistic queue first, then plan order.
     fn pick_next(&mut self, ctx: &mut RsyncCtx<'_>) -> SimResult<bool> {
         // Opportunistic choice, validated through duet_get_path.
+        let mut backed_out: Vec<InodeNr> = Vec::new();
+        let mut picked = None;
+        let mut failure = None;
         while let Some(ino) = self.tracker.pop_best() {
             if self.is_done(ctx, ino) || self.transferred(ino) || !ctx.src.inodes().exists(ino) {
                 continue;
@@ -204,13 +221,37 @@ impl Rsync {
                 match ctx.duet.get_path(sid, ino, ctx.src) {
                     Ok(_) => {}
                     Err(SimError::PathNotAvailable(_)) => {
-                        // Hint went stale: back out (§3.2); the file
-                        // stays in normal order.
+                        // The hint went stale — or the failure is
+                        // transient. Back out (§3.2) and re-enqueue:
+                        // a later pick retries it, and the file stays
+                        // covered by normal order either way.
+                        backed_out.push(ino);
                         continue;
                     }
-                    Err(e) => return Err(e),
+                    Err(SimError::InvalidSession(_)) => {
+                        // Session gone: degrade to the baseline
+                        // traversal. The hint itself is still good.
+                        self.sid = None;
+                    }
+                    Err(e) => {
+                        backed_out.push(ino);
+                        failure = Some(e);
+                        break;
+                    }
                 }
             }
+            picked = Some(ino);
+            break;
+        }
+        // Backed-out hints return to the queue at their recorded
+        // priority so a later pick can retry them.
+        for ino in backed_out {
+            self.tracker.requeue(ino);
+        }
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        if let Some(ino) = picked {
             self.activate(ctx, ino)?;
             return Ok(true);
         }
@@ -504,6 +545,89 @@ mod tests {
         // Two files remain (the third was deleted): 24 pages copied.
         assert_eq!(m.blocks_read, 24);
         assert!(dst.resolve("/docs/a.txt").is_ok());
+    }
+
+    #[test]
+    fn transient_path_failure_requeues_hint() {
+        use sim_core::fault::{FaultHandle, FaultPlan, FaultSite};
+        let (mut src, mut dst, mut duet) = two_fs();
+        let inos = populate_tree(&mut src);
+        let mut task = Rsync::new(TaskMode::Duet, src.root());
+        task.start(RsyncCtx {
+            src: &mut src,
+            dst: &mut dst,
+            duet: &mut duet,
+            now: T0,
+        })
+        .unwrap();
+        // Workload reads /top.bin (plan-LAST: depth-first order visits
+        // docs/ before it) into memory — 16 resident pages.
+        src.read(inos[0], 0, 16 * PAGE_SIZE, IoClass::Normal, T0)
+            .unwrap();
+        pump_btrfs(&mut src, &mut duet);
+        // While armed, every duet_get_path call fails transiently.
+        let plan = FaultPlan::quiet().with_ppm(FaultSite::DuetPathUnavailable, 1_000_000);
+        duet.set_faults(Some(FaultHandle::new(0xBAD, plan)));
+        // Step 1: the top.bin hint is popped, the truth check fails,
+        // and the task falls back to plan order (a.txt, one chunk).
+        let r = task
+            .step(RsyncCtx {
+                src: &mut src,
+                dst: &mut dst,
+                duet: &mut duet,
+                now: T0,
+            })
+            .unwrap();
+        pump_btrfs(&mut src, &mut duet);
+        assert!(!r.complete);
+        assert!(!task.meta_sent.contains(&inos[0]), "hint backed out");
+        assert!(task.meta_sent.contains(&inos[1]), "fell back to plan order");
+        // The fault clears. The backed-out hint was only transiently
+        // unavailable: it must have been re-enqueued, so the next pick
+        // takes cached top.bin (16 resident pages) ahead of plan-next
+        // b.txt.
+        duet.set_faults(None);
+        task.step(RsyncCtx {
+            src: &mut src,
+            dst: &mut dst,
+            duet: &mut duet,
+            now: T0,
+        })
+        .unwrap();
+        pump_btrfs(&mut src, &mut duet);
+        assert!(task.meta_sent.contains(&inos[0]), "requeued hint retried");
+        assert!(!task.meta_sent.contains(&inos[2]), "b.txt still pending");
+        drive(&mut task, &mut src, &mut dst, &mut duet);
+        let m = task.metrics();
+        assert_eq!(m.done_units, m.total_units);
+        assert!(m.saved_units >= 16, "cached reads saved: {}", m.saved_units);
+    }
+
+    #[test]
+    fn lost_session_degrades_to_baseline_copy() {
+        let (mut src, mut dst, mut duet) = two_fs();
+        let inos = populate_tree(&mut src);
+        let mut task = Rsync::new(TaskMode::Duet, src.root());
+        task.start(RsyncCtx {
+            src: &mut src,
+            dst: &mut dst,
+            duet: &mut duet,
+            now: T0,
+        })
+        .unwrap();
+        src.read(inos[2], 0, 8 * PAGE_SIZE, IoClass::Normal, T0)
+            .unwrap();
+        pump_btrfs(&mut src, &mut duet);
+        // The session disappears out from under the task (external
+        // deregistration). The task must degrade to the baseline
+        // traversal instead of failing the whole transfer.
+        duet.deregister(SessionId(0)).unwrap();
+        drive(&mut task, &mut src, &mut dst, &mut duet);
+        let m = task.metrics();
+        assert_eq!(m.done_units, m.total_units);
+        assert!(dst.resolve("/top.bin").is_ok());
+        assert!(dst.resolve("/docs/a.txt").is_ok());
+        assert!(dst.resolve("/docs/b.txt").is_ok());
     }
 
     #[test]

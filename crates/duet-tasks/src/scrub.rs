@@ -16,7 +16,7 @@
 use crate::task::{BtrfsCtx, BtrfsTask, StepResult, TaskMetrics, TaskMode};
 use duet::{EventMask, ItemFlags, SessionId, TaskScope};
 use sim_btrfs::Run;
-use sim_core::{BlockNr, SimResult, SparseBitmap, PAGE_SIZE};
+use sim_core::{BlockNr, SimError, SimResult, SparseBitmap, PAGE_SIZE};
 use sim_disk::IoClass;
 
 /// Blocks examined per step (1 MiB chunks).
@@ -41,6 +41,10 @@ pub struct Scrubber {
     opportunistic: u64,
     /// Latent corruptions detected and repaired.
     pub corruptions_fixed: u64,
+    /// Test-only defect switch: when set, the scrubber reads blocks
+    /// but never repairs them (used to prove the equivalence oracle
+    /// catches a broken task).
+    skip_repair: bool,
     started: bool,
 }
 
@@ -61,8 +65,22 @@ impl Scrubber {
             own_written: 0,
             opportunistic: 0,
             corruptions_fixed: 0,
+            skip_repair: false,
             started: false,
         }
+    }
+
+    /// Blocks this scrubber has verified, in ascending order — the
+    /// oracle's final-state digest.
+    pub fn verified_blocks(&self) -> Vec<u64> {
+        self.verified.iter().collect()
+    }
+
+    /// Sabotage switch for oracle self-tests: silently skip part of the
+    /// scan and never repair, without reporting any error.
+    #[doc(hidden)]
+    pub fn sabotage_skip_repair(&mut self) {
+        self.skip_repair = true;
     }
 
     /// Absolute block at the scan frontier, or `None` when done.
@@ -115,7 +133,15 @@ impl Scrubber {
             return Ok(());
         };
         loop {
-            let items = ctx.duet.fetch(sid, FETCH_BATCH, ctx.fs)?;
+            let items = match ctx.duet.fetch(sid, FETCH_BATCH, ctx.fs) {
+                Ok(items) => items,
+                Err(SimError::InvalidSession(_)) => {
+                    // Session vanished: degrade to the plain scan.
+                    self.sid = None;
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            };
             if items.is_empty() {
                 return Ok(());
             }
@@ -157,14 +183,19 @@ impl BtrfsTask for Scrubber {
         self.plan = ctx.fs.allocated_ranges();
         self.total = self.plan.iter().map(|r| r.len).sum();
         if self.mode == TaskMode::Duet {
-            let sid = ctx.duet.register(
+            match ctx.duet.register(
                 TaskScope::Block {
                     device: ctx.fs.device(),
                 },
                 EventMask::ADDED | EventMask::DIRTIED,
                 ctx.fs,
-            )?;
-            self.sid = Some(sid);
+            ) {
+                Ok(sid) => self.sid = Some(sid),
+                // All session slots taken: scrub still runs, just
+                // without opportunistic savings.
+                Err(SimError::TooManySessions) => {}
+                Err(e) => return Err(e),
+            }
         }
         self.started = true;
         Ok(())
@@ -194,9 +225,19 @@ impl BtrfsTask for Scrubber {
         // Verify (and repair) every block of the chunk first: the
         // scrubber owns the checksum-failure path, whereas an ordinary
         // read of a corrupted block would just fail with EIO.
-        for &b in &to_scrub {
-            if ctx.fs.verify_and_repair(b)? {
-                self.corruptions_fixed += 1;
+        if self.skip_repair {
+            // Sabotage mode: silently drop a deterministic subset of
+            // blocks from the scrub — they are neither repaired nor
+            // recorded as verified. Also dodge corrupted blocks so the
+            // broken run still "succeeds" (the failure is silent, which
+            // is exactly what the oracle must catch).
+            to_scrub.retain(|&b| b.raw() % 7 != 0);
+            to_scrub.retain(|&b| ctx.fs.blocks().verify_checksum(b).is_ok());
+        } else {
+            for &b in &to_scrub {
+                if ctx.fs.verify_and_repair(b)? {
+                    self.corruptions_fixed += 1;
+                }
             }
         }
         // Read the needed blocks: through the page cache when a live

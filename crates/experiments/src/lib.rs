@@ -19,12 +19,16 @@
 
 pub mod config;
 pub mod metrics;
+pub mod oracle;
 pub mod presets;
 pub mod profile;
 pub mod runner;
 
 pub use config::{DeviceKind, ExperimentConfig, TaskKind};
 pub use metrics::{max_utilization, speedup, ExperimentResult, TaskOutcome};
+pub use oracle::{
+    check_pair, check_pair_with, exercise_error_vocabulary, OracleReport, OracleTask,
+};
 pub use presets::paper_scaled;
 pub use profile::{profile_unthrottled, run_experiment_cached, ProfileCache, ProfileKey};
 pub use runner::{

@@ -1,0 +1,782 @@
+//! Duet-vs-Baseline equivalence oracle under fault injection.
+//!
+//! The paper's framework is only allowed to change *when* maintenance
+//! work happens, never *what* it produces (§3.2: hints are best-effort,
+//! every action is validated against ground truth). This module turns
+//! that contract into an executable check: each task runs twice —
+//! opportunistic (Duet) and baseline — under the **same** workload
+//! operation list and the **same** fault plan, and the final logical
+//! states must be identical:
+//!
+//! - **scrub**: the set of verified blocks;
+//! - **backup**: the set of blocks shipped to the backup stream and the
+//!   bytes sent;
+//! - **defragmentation**: per-file extent counts (layout invariant);
+//! - **rsync**: the destination tree (path → size);
+//! - **GC**: logical file state (name → size, every page mapped to a
+//!   valid block) plus the filesystem's own consistency check.
+//!
+//! Both runs of a pair construct a fresh [`FaultInjector`] from the
+//! same `(seed, plan)` pair, so each run is bit-replayable on its own;
+//! every failure message embeds [`replay_line`] so a CI hit can be
+//! reproduced locally with `DUET_FAULT_SEED`.
+//!
+//! [`FaultInjector`]: sim_core::fault::FaultInjector
+
+use duet::{Duet, EventMask, SessionId, TaskScope};
+use duet_tasks::{
+    pump_btrfs, pump_f2fs, Backup, BtrfsCtx, BtrfsTask, Defrag, GarbageCollector, GcCtx, Rsync,
+    RsyncCtx, Scrubber, TaskMode,
+};
+use sim_btrfs::BtrfsSim;
+use sim_core::fault::{replay_line, FaultHandle, FaultPlan, FaultSite};
+use sim_core::{BlockNr, DeviceId, InodeNr, SimError, SimInstant, SimRng, PAGE_SIZE};
+use sim_disk::{Disk, HddModel, IoClass, IoKind, IoRequest, RetryPolicy};
+use sim_f2fs::{F2fsSim, VictimPolicy};
+use std::collections::BTreeSet;
+
+const T0: SimInstant = SimInstant::EPOCH;
+/// Workload operations interleaved with each run.
+const WORKLOAD_OPS: usize = 48;
+/// Hard step bound so a wedged run fails loudly instead of spinning.
+const MAX_STEPS: u32 = 20_000;
+/// Retry budget for the oracle runs: aggressive plans (8 % transient
+/// EIO) would exhaust the default 4 attempts once in a few hundred
+/// requests; 6 doublings make exhaustion astronomically unlikely while
+/// still exercising the backoff path constantly.
+fn oracle_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 6,
+        ..RetryPolicy::default()
+    }
+}
+
+/// The five maintenance tasks the oracle covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleTask {
+    /// Checksum scrubber (§5.1).
+    Scrub,
+    /// Snapshot backup (§5.2).
+    Backup,
+    /// File defragmentation (§5.3).
+    Defrag,
+    /// Directory synchronization (§5.5).
+    Rsync,
+    /// F2fs segment cleaning (§5.4).
+    Gc,
+}
+
+impl OracleTask {
+    /// Every task, in a fixed order.
+    pub const ALL: [OracleTask; 5] = [
+        OracleTask::Scrub,
+        OracleTask::Backup,
+        OracleTask::Defrag,
+        OracleTask::Rsync,
+        OracleTask::Gc,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleTask::Scrub => "scrub",
+            OracleTask::Backup => "backup",
+            OracleTask::Defrag => "defrag",
+            OracleTask::Rsync => "rsync",
+            OracleTask::Gc => "gc",
+        }
+    }
+}
+
+/// Outcome of one passing equivalence check.
+#[derive(Debug)]
+pub struct OracleReport {
+    /// The task that was checked.
+    pub task: OracleTask,
+    /// The (identical) final-state digest of both runs.
+    pub digest: String,
+    /// Faults injected across both runs — lets callers assert that an
+    /// adversarial plan actually exercised its fault paths rather than
+    /// passing vacuously.
+    pub faults_fired: u64,
+}
+
+/// Runs `task` twice — Duet then Baseline — under the same workload and
+/// fault plan, and compares final-state digests. `Err` carries a
+/// human-readable diagnosis ending in the replay line.
+pub fn check_pair(task: OracleTask, seed: u64, plan: &FaultPlan) -> Result<OracleReport, String> {
+    check_pair_with(task, seed, plan, false)
+}
+
+/// [`check_pair`] with an optional deliberate defect injected into the
+/// Duet run (the scrubber skips repairs). Used to prove the oracle
+/// actually discriminates: a sabotaged pair must come back `Err`.
+pub fn check_pair_with(
+    task: OracleTask,
+    seed: u64,
+    plan: &FaultPlan,
+    sabotage_duet: bool,
+) -> Result<OracleReport, String> {
+    let fail = |phase: &str, msg: String| {
+        format!(
+            "oracle[{}/{phase}]: {msg}\n  {}",
+            task.name(),
+            replay_line(seed, plan)
+        )
+    };
+    let (duet, duet_fired) =
+        run_digest(task, TaskMode::Duet, seed, plan, sabotage_duet).map_err(|e| fail("duet", e))?;
+    let (base, base_fired) =
+        run_digest(task, TaskMode::Baseline, seed, plan, false).map_err(|e| fail("baseline", e))?;
+    if duet != base {
+        return Err(fail(
+            "compare",
+            format!("final states diverge\n  duet:     {duet}\n  baseline: {base}"),
+        ));
+    }
+    Ok(OracleReport {
+        task,
+        digest: duet,
+        faults_fired: duet_fired + base_fired,
+    })
+}
+
+// ----- workload -------------------------------------------------------
+
+/// One deterministic foreground operation. The op list is generated
+/// once per `(seed, task)` and applied identically to both runs of a
+/// pair, so any state divergence is the task's fault, not the
+/// workload's.
+#[derive(Debug, Clone, Copy)]
+enum WlOp {
+    /// Read `pages` pages of file `file` starting at `page`.
+    Read { file: usize, page: u64, pages: u64 },
+    /// Overwrite `pages` pages of file `file` starting at `page`.
+    Write { file: usize, page: u64, pages: u64 },
+    /// Flush a batch of dirty pages.
+    Writeback,
+}
+
+fn gen_ops(rng: &mut SimRng, nfiles: usize, pages_each: u64, writes: bool) -> Vec<WlOp> {
+    (0..WORKLOAD_OPS)
+        .map(|_| {
+            let file = rng.gen_range(0, nfiles as u64) as usize;
+            let pages = rng.gen_range(1, 5).min(pages_each);
+            let page = rng.gen_range(0, pages_each - pages + 1);
+            if writes && rng.gen_range(0, 4) == 0 {
+                if rng.gen_range(0, 8) == 0 {
+                    WlOp::Writeback
+                } else {
+                    WlOp::Write { file, page, pages }
+                }
+            } else {
+                WlOp::Read { file, page, pages }
+            }
+        })
+        .collect()
+}
+
+/// Applies one workload op to a Btrfs filesystem, recovering from the
+/// two injectable failures a foreground application would survive:
+/// checksum mismatches (repair-and-retry, as Btrfs does from a good
+/// mirror) and exhausted transient-EIO retries (give up on the op).
+fn apply_btrfs_op(fs: &mut BtrfsSim, files: &[InodeNr], op: WlOp) -> Result<(), String> {
+    let mut attempts = 0;
+    loop {
+        let r = match op {
+            WlOp::Read { file, page, pages } => fs
+                .read(
+                    files[file],
+                    page * PAGE_SIZE,
+                    pages * PAGE_SIZE,
+                    IoClass::Normal,
+                    T0,
+                )
+                .map(|_| ()),
+            WlOp::Write { file, page, pages } => fs
+                .write(
+                    files[file],
+                    page * PAGE_SIZE,
+                    pages * PAGE_SIZE,
+                    IoClass::Normal,
+                    T0,
+                )
+                .map(|_| ()),
+            WlOp::Writeback => fs.background_writeback(32, IoClass::Normal, T0).map(|_| ()),
+        };
+        match r {
+            Ok(()) => return Ok(()),
+            Err(SimError::ChecksumMismatch(b)) if attempts < 16 => {
+                attempts += 1;
+                fs.verify_and_repair(b).map_err(|e| e.to_string())?;
+            }
+            Err(SimError::TransientIo(_)) => return Ok(()),
+            Err(e) => return Err(format!("workload op {op:?} failed: {e}")),
+        }
+    }
+}
+
+// ----- per-task runs --------------------------------------------------
+
+fn hdd(capacity: u64) -> Disk {
+    Disk::new(Box::new(HddModel::sas_10k(capacity)))
+}
+
+fn run_digest(
+    task: OracleTask,
+    mode: TaskMode,
+    seed: u64,
+    plan: &FaultPlan,
+    sabotage: bool,
+) -> Result<(String, u64), String> {
+    match task {
+        OracleTask::Scrub => run_scrub(mode, seed, plan, sabotage),
+        OracleTask::Backup => run_backup(mode, seed, plan),
+        OracleTask::Defrag => run_defrag(mode, seed, plan),
+        OracleTask::Rsync => run_rsync(mode, seed, plan),
+        OracleTask::Gc => run_gc(mode, seed, plan),
+    }
+}
+
+/// Drives a Btrfs task to completion, interleaving workload ops and
+/// retrying steps that die on exhausted transient-I/O budgets.
+fn drive_btrfs(
+    task: &mut dyn BtrfsTask,
+    fs: &mut BtrfsSim,
+    duet: &mut Duet,
+    files: &[InodeNr],
+    ops: &[WlOp],
+) -> Result<(), String> {
+    let mut steps = 0u32;
+    let mut op_idx = 0usize;
+    let mut retries = 0u32;
+    loop {
+        if op_idx < ops.len() {
+            apply_btrfs_op(fs, files, ops[op_idx])?;
+            op_idx += 1;
+            pump_btrfs(fs, duet);
+        }
+        match task.step(BtrfsCtx { fs, duet, now: T0 }) {
+            Ok(r) => {
+                retries = 0;
+                pump_btrfs(fs, duet);
+                if r.complete && op_idx >= ops.len() {
+                    return Ok(());
+                }
+            }
+            Err(SimError::TransientIo(_)) if retries < 16 => retries += 1,
+            Err(SimError::ChecksumMismatch(b)) if retries < 16 => {
+                retries += 1;
+                fs.verify_and_repair(b).map_err(|e| e.to_string())?;
+            }
+            Err(e) => return Err(format!("task step failed: {e}")),
+        }
+        steps += 1;
+        if steps > MAX_STEPS {
+            return Err("task did not terminate".into());
+        }
+    }
+}
+
+fn run_scrub(
+    mode: TaskMode,
+    seed: u64,
+    plan: &FaultPlan,
+    sabotage: bool,
+) -> Result<(String, u64), String> {
+    let mut fs = BtrfsSim::new(DeviceId(0), hdd(1 << 14), 128);
+    let mut duet = Duet::with_defaults();
+    let mut files = Vec::new();
+    for i in 0..4u64 {
+        files.push(
+            fs.populate_file(fs.root(), &format!("f{i}"), 64 * PAGE_SIZE)
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    // Latent corruption for the scrubber to find (and the workload to
+    // trip over — its repair-and-retry path is part of the check).
+    for b in [BlockNr(3), BlockNr(70), BlockNr(155)] {
+        fs.inject_corruption(b).map_err(|e| e.to_string())?;
+    }
+    let ops = gen_ops(&mut SimRng::new(seed ^ 0x5C0B), 4, 64, true);
+    let mut task = Scrubber::new(mode);
+    if sabotage {
+        task.sabotage_skip_repair();
+    }
+    let handle = FaultHandle::new(seed, plan.clone());
+    fs.set_faults(Some(handle.clone()));
+    fs.set_retry_policy(oracle_retry());
+    duet.set_faults(Some(handle.clone()));
+    task.start(BtrfsCtx {
+        fs: &mut fs,
+        duet: &mut duet,
+        now: T0,
+    })
+    .map_err(|e| e.to_string())?;
+    pump_btrfs(&mut fs, &mut duet);
+    drive_btrfs(&mut task, &mut fs, &mut duet, &files, &ops)?;
+    task.stop(BtrfsCtx {
+        fs: &mut fs,
+        duet: &mut duet,
+        now: T0,
+    })
+    .map_err(|e| e.to_string())?;
+    // The digest is the verified-block set alone: latent-error faults
+    // can corrupt freshly-written blocks at times that differ between
+    // the two runs, so the residual corruption count is not part of
+    // the task's contract — full scrub coverage is.
+    Ok((
+        format!("verified={:?}", task.verified_blocks()),
+        handle.total_fired(),
+    ))
+}
+
+fn run_backup(mode: TaskMode, seed: u64, plan: &FaultPlan) -> Result<(String, u64), String> {
+    let mut fs = BtrfsSim::new(DeviceId(0), hdd(1 << 14), 128);
+    let mut duet = Duet::with_defaults();
+    let mut files = Vec::new();
+    for i in 0..4u64 {
+        files.push(
+            fs.populate_file(fs.root(), &format!("f{i}"), 32 * PAGE_SIZE)
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    let ops = gen_ops(&mut SimRng::new(seed ^ 0xBAC0), 4, 32, true);
+    let mut task = Backup::new(mode);
+    let handle = FaultHandle::new(seed, plan.clone());
+    fs.set_faults(Some(handle.clone()));
+    fs.set_retry_policy(oracle_retry());
+    duet.set_faults(Some(handle.clone()));
+    task.start(BtrfsCtx {
+        fs: &mut fs,
+        duet: &mut duet,
+        now: T0,
+    })
+    .map_err(|e| e.to_string())?;
+    pump_btrfs(&mut fs, &mut duet);
+    drive_btrfs(&mut task, &mut fs, &mut duet, &files, &ops)?;
+    task.stop(BtrfsCtx {
+        fs: &mut fs,
+        duet: &mut duet,
+        now: T0,
+    })
+    .map_err(|e| e.to_string())?;
+    Ok((
+        format!("backed={:?} sent={}", task.backed_blocks(), task.sent_bytes),
+        handle.total_fired(),
+    ))
+}
+
+fn run_defrag(mode: TaskMode, seed: u64, plan: &FaultPlan) -> Result<(String, u64), String> {
+    let mut fs = BtrfsSim::new(DeviceId(0), hdd(1 << 14), 128);
+    let mut duet = Duet::with_defaults();
+    let mut files = Vec::new();
+    for i in 0..4u64 {
+        let ino = fs
+            .populate_file(fs.root(), &format!("f{i}"), 32 * PAGE_SIZE)
+            .map_err(|e| e.to_string())?;
+        files.push(ino);
+    }
+    for &ino in &files[..3] {
+        fs.fragment_file(ino, 4).map_err(|e| e.to_string())?;
+    }
+    // Read-only workload: writes would re-fragment files concurrently
+    // with the rewrite, making the final layout timing-dependent.
+    let ops = gen_ops(&mut SimRng::new(seed ^ 0xDEF4), 4, 32, false);
+    let mut task = Defrag::new(mode);
+    let handle = FaultHandle::new(seed, plan.clone());
+    fs.set_faults(Some(handle.clone()));
+    fs.set_retry_policy(oracle_retry());
+    duet.set_faults(Some(handle.clone()));
+    task.start(BtrfsCtx {
+        fs: &mut fs,
+        duet: &mut duet,
+        now: T0,
+    })
+    .map_err(|e| e.to_string())?;
+    pump_btrfs(&mut fs, &mut duet);
+    drive_btrfs(&mut task, &mut fs, &mut duet, &files, &ops)?;
+    task.stop(BtrfsCtx {
+        fs: &mut fs,
+        duet: &mut duet,
+        now: T0,
+    })
+    .map_err(|e| e.to_string())?;
+    fs.check_consistency()
+        .map_err(|e| format!("consistency check failed: {e}"))?;
+    let mut layout = Vec::new();
+    for &ino in &files {
+        layout.push((
+            ino.raw(),
+            fs.file_extent_count(ino).map_err(|e| e.to_string())?,
+        ));
+    }
+    Ok((
+        format!("extents={layout:?} defragged={}", task.files_defragged),
+        handle.total_fired(),
+    ))
+}
+
+fn run_rsync(mode: TaskMode, seed: u64, plan: &FaultPlan) -> Result<(String, u64), String> {
+    let mut src = BtrfsSim::new(DeviceId(0), hdd(1 << 14), 128);
+    let mut dst = BtrfsSim::new(DeviceId(1), hdd(1 << 14), 128);
+    let mut duet = Duet::with_defaults();
+    let docs = src.mkdir(src.root(), "docs").map_err(|e| e.to_string())?;
+    let mut files = Vec::new();
+    for (i, (parent, pages)) in [(docs, 8u64), (docs, 8), (src.root(), 16), (src.root(), 8)]
+        .into_iter()
+        .enumerate()
+    {
+        files.push(
+            src.populate_file(parent, &format!("f{i}"), pages * PAGE_SIZE)
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    // Read-only workload: concurrent writes would race the sender and
+    // make the captured image size timing-dependent.
+    let ops = gen_ops(&mut SimRng::new(seed ^ 0x55C1), 4, 8, false);
+    let mut task = Rsync::new(mode, src.root());
+    let handle = FaultHandle::new(seed, plan.clone());
+    src.set_faults(Some(handle.clone()));
+    src.set_retry_policy(oracle_retry());
+    dst.set_retry_policy(oracle_retry());
+    duet.set_faults(Some(handle.clone()));
+    task.start(RsyncCtx {
+        src: &mut src,
+        dst: &mut dst,
+        duet: &mut duet,
+        now: T0,
+    })
+    .map_err(|e| e.to_string())?;
+    pump_btrfs(&mut src, &mut duet);
+    let mut steps = 0u32;
+    let mut op_idx = 0usize;
+    let mut retries = 0u32;
+    loop {
+        if op_idx < ops.len() {
+            apply_btrfs_op(&mut src, &files, ops[op_idx])?;
+            op_idx += 1;
+            pump_btrfs(&mut src, &mut duet);
+        }
+        match task.step(RsyncCtx {
+            src: &mut src,
+            dst: &mut dst,
+            duet: &mut duet,
+            now: T0,
+        }) {
+            Ok(r) => {
+                retries = 0;
+                pump_btrfs(&mut src, &mut duet);
+                if r.complete && op_idx >= ops.len() {
+                    break;
+                }
+            }
+            Err(SimError::TransientIo(_)) if retries < 16 => retries += 1,
+            Err(SimError::ChecksumMismatch(b)) if retries < 16 => {
+                retries += 1;
+                src.verify_and_repair(b).map_err(|e| e.to_string())?;
+            }
+            Err(e) => return Err(format!("task step failed: {e}")),
+        }
+        steps += 1;
+        if steps > MAX_STEPS {
+            return Err("task did not terminate".into());
+        }
+    }
+    dst.check_consistency()
+        .map_err(|e| format!("dst consistency check failed: {e}"))?;
+    let mut image = Vec::new();
+    for ino in dst.inodes().files_by_inode() {
+        let path = dst.path_of(ino).map_err(|e| e.to_string())?;
+        let pages = dst
+            .inodes()
+            .get(ino)
+            .map_err(|e| e.to_string())?
+            .size_pages();
+        image.push((path, pages));
+    }
+    image.sort();
+    Ok((format!("image={image:?}"), handle.total_fired()))
+}
+
+fn run_gc(mode: TaskMode, seed: u64, plan: &FaultPlan) -> Result<(String, u64), String> {
+    let mut fs = F2fsSim::new(DeviceId(1), hdd(256), 64, 8);
+    let mut duet = Duet::with_defaults();
+    let mut files = Vec::new();
+    for i in 0..4u64 {
+        files.push(
+            fs.populate_file(&format!("f{i}"), 8 * PAGE_SIZE)
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    let mut rng = SimRng::new(seed ^ 0x6C6C);
+    let ops = gen_ops(&mut rng, 4, 8, true);
+    let mut task = GarbageCollector::new(mode, VictimPolicy::Greedy).with_window(32);
+    let handle = FaultHandle::new(seed, plan.clone());
+    fs.set_faults(Some(handle.clone()));
+    fs.set_retry_policy(oracle_retry());
+    duet.set_faults(Some(handle.clone()));
+    task.start(GcCtx {
+        fs: &mut fs,
+        duet: &mut duet,
+        now: T0,
+    })
+    .map_err(|e| e.to_string())?;
+    pump_f2fs(&mut fs, &mut duet);
+    for &op in &ops {
+        // The F2fs workload: writes invalidate log blocks, periodic
+        // writeback retires dirty pages, cleaning runs every few ops.
+        let mut attempts = 0;
+        loop {
+            let r = match op {
+                WlOp::Read { file, page, pages } => fs
+                    .read(
+                        files[file],
+                        page * PAGE_SIZE,
+                        pages * PAGE_SIZE,
+                        IoClass::Normal,
+                        T0,
+                    )
+                    .map(|_| ()),
+                WlOp::Write { file, page, pages } => fs
+                    .write(
+                        files[file],
+                        page * PAGE_SIZE,
+                        pages * PAGE_SIZE,
+                        IoClass::Normal,
+                        T0,
+                    )
+                    .map(|_| ()),
+                WlOp::Writeback => fs.background_writeback(16, IoClass::Normal, T0).map(|_| ()),
+            };
+            match r {
+                Ok(()) => break,
+                Err(SimError::TransientIo(_)) if attempts < 16 => attempts += 1,
+                Err(e) => return Err(format!("workload op {op:?} failed: {e}")),
+            }
+        }
+        pump_f2fs(&mut fs, &mut duet);
+        let mut retries = 0;
+        loop {
+            match task.step(GcCtx {
+                fs: &mut fs,
+                duet: &mut duet,
+                now: T0,
+            }) {
+                Ok(_) => break,
+                Err(SimError::TransientIo(_)) if retries < 16 => retries += 1,
+                Err(e) => return Err(format!("gc step failed: {e}")),
+            }
+        }
+        pump_f2fs(&mut fs, &mut duet);
+    }
+    fs.check_consistency()
+        .map_err(|e| format!("consistency check failed: {e}"))?;
+    let mut state = Vec::new();
+    for ino in fs.files() {
+        let size = fs.size_of(ino).map_err(|e| e.to_string())?;
+        let pages = size.div_ceil(PAGE_SIZE);
+        let mapped = (0..pages).all(|p| {
+            fs.mapping_of(ino, sim_core::PageIndex(p))
+                .map(|b| fs.is_valid(b))
+                .unwrap_or(false)
+        });
+        state.push((ino.raw(), size, mapped));
+    }
+    Ok((format!("files={state:?}"), handle.total_fired()))
+}
+
+// ----- error-vocabulary exerciser ------------------------------------
+
+/// Drives deliberate API misuse and forced faults against small
+/// fixtures, returning the set of [`SimError`] labels observed. The
+/// choice and order of probes is itself fault-driven (the
+/// [`FaultSite::ApiChaos`] stream), and the fault matrix asserts the
+/// result covers [`SimError::ALL_LABELS`] — i.e. every error variant in
+/// the vocabulary is constructible and observable.
+pub fn exercise_error_vocabulary(seed: u64) -> BTreeSet<&'static str> {
+    let chaos = FaultHandle::new(
+        seed,
+        FaultPlan::quiet().with_ppm(FaultSite::ApiChaos, 1_000_000),
+    );
+    let nprobes = 13u64;
+    let mut seen: BTreeSet<&'static str> = BTreeSet::new();
+    // Each round the chaos stream picks one probe; a few extra rounds
+    // guarantee coverage regardless of the draw order.
+    let mut remaining: BTreeSet<u64> = (0..nprobes).collect();
+    let mut rounds = 0;
+    while !remaining.is_empty() && rounds < 1024 {
+        rounds += 1;
+        if !chaos.fire(FaultSite::ApiChaos) {
+            continue;
+        }
+        let pick = chaos.amplitude(FaultSite::ApiChaos, 0, nprobes);
+        let probe = if remaining.contains(&pick) {
+            remaining.take(&pick).unwrap_or(pick)
+        } else {
+            match remaining.iter().next().copied() {
+                Some(p) => {
+                    remaining.remove(&p);
+                    p
+                }
+                None => break,
+            }
+        };
+        if let Some(err) = run_probe(probe, seed) {
+            seen.insert(err.label());
+        }
+    }
+    seen
+}
+
+/// Runs one misuse probe and returns the error it produced.
+fn run_probe(probe: u64, seed: u64) -> Option<SimError> {
+    match probe {
+        0 => {
+            // NoSuchInode: read a file that was never created.
+            let mut fs = BtrfsSim::new(DeviceId(0), hdd(64), 16);
+            fs.read(InodeNr(4242), 0, PAGE_SIZE, IoClass::Normal, T0)
+                .err()
+        }
+        1 => {
+            // NoSuchPath: resolve a missing path.
+            let fs = BtrfsSim::new(DeviceId(0), hdd(64), 16);
+            fs.resolve("/missing").err()
+        }
+        2 => {
+            // NotADirectory: create a child under a regular file.
+            let mut fs = BtrfsSim::new(DeviceId(0), hdd(64), 16);
+            let f = fs.create_file(fs.root(), "plain").ok()?;
+            fs.create_file(f, "child").err()
+        }
+        3 => {
+            // AlreadyExists: duplicate name in one directory.
+            let mut fs = BtrfsSim::new(DeviceId(0), hdd(64), 16);
+            fs.create_file(fs.root(), "dup").ok()?;
+            fs.create_file(fs.root(), "dup").err()
+        }
+        4 => {
+            // BlockOutOfRange: submit I/O past the end of the device.
+            let mut disk = hdd(64);
+            let req = IoRequest::new(IoKind::Read, BlockNr(60), 8, IoClass::Normal);
+            disk.try_submit(&req, T0).err()
+        }
+        5 => {
+            // NoSpace: populate more data than the device holds.
+            let mut fs = BtrfsSim::new(DeviceId(0), hdd(16), 16);
+            fs.populate_file(fs.root(), "big", 32 * PAGE_SIZE).err()
+        }
+        6 => {
+            // ChecksumMismatch: verify an injected corruption.
+            let mut fs = BtrfsSim::new(DeviceId(0), hdd(64), 16);
+            fs.populate_file(fs.root(), "f", 4 * PAGE_SIZE).ok()?;
+            fs.inject_corruption(BlockNr(1)).ok()?;
+            fs.blocks().verify_checksum(BlockNr(1)).err()
+        }
+        7 => {
+            // TransientIo: certain EIO with a single-attempt budget.
+            let mut disk = hdd(64);
+            disk.set_faults(Some(FaultHandle::new(
+                seed,
+                FaultPlan::quiet().with_ppm(FaultSite::DiskTransientIo, 1_000_000),
+            )));
+            let req = IoRequest::new(IoKind::Read, BlockNr(0), 1, IoClass::Normal);
+            disk.try_submit(&req, T0).err()
+        }
+        8 => {
+            // InvalidSession: fetch on a never-registered session.
+            let mut duet = Duet::with_defaults();
+            let fs = BtrfsSim::new(DeviceId(0), hdd(64), 16);
+            duet.fetch(SessionId(13), 8, &fs).err()
+        }
+        9 => {
+            // TooManySessions: forced slot exhaustion on register.
+            let mut duet = Duet::with_defaults();
+            duet.set_faults(Some(FaultHandle::new(
+                seed,
+                FaultPlan::quiet().with_ppm(FaultSite::DuetSessionExhaustion, 1_000_000),
+            )));
+            let fs = BtrfsSim::new(DeviceId(0), hdd(64), 16);
+            duet.register(
+                TaskScope::Block {
+                    device: fs.device(),
+                },
+                EventMask::ADDED,
+                &fs,
+            )
+            .err()
+        }
+        10 => {
+            // PathNotAvailable: forced stale-hint failure on get_path.
+            let mut duet = Duet::with_defaults();
+            let mut fs = BtrfsSim::new(DeviceId(0), hdd(64), 16);
+            let f = fs.create_file(fs.root(), "f").ok()?;
+            let sid = duet
+                .register(
+                    TaskScope::File {
+                        registered_dir: fs.root(),
+                    },
+                    EventMask::EXISTS,
+                    &fs,
+                )
+                .ok()?;
+            duet.set_faults(Some(FaultHandle::new(
+                seed,
+                FaultPlan::quiet().with_ppm(FaultSite::DuetPathUnavailable, 1_000_000),
+            )));
+            duet.get_path(sid, f, &fs).err()
+        }
+        11 => {
+            // Unsupported: get_path on a block-scope session.
+            let mut duet = Duet::with_defaults();
+            let mut fs = BtrfsSim::new(DeviceId(0), hdd(64), 16);
+            let f = fs.create_file(fs.root(), "f").ok()?;
+            let sid = duet
+                .register(
+                    TaskScope::Block {
+                        device: fs.device(),
+                    },
+                    EventMask::ADDED,
+                    &fs,
+                )
+                .ok()?;
+            duet.get_path(sid, f, &fs).err()
+        }
+        12 => {
+            // InvalidArgument: malformed fault-plan spec.
+            FaultPlan::parse("definitely-not-a-site=1").err()
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_pair_matches_for_every_task() {
+        let plan = FaultPlan::quiet();
+        for task in OracleTask::ALL {
+            let report = check_pair(task, 0x0DDB411, &plan)
+                .unwrap_or_else(|e| panic!("{} diverged under quiet plan:\n{e}", task.name()));
+            assert!(!report.digest.is_empty());
+        }
+    }
+
+    #[test]
+    fn sabotaged_scrubber_is_caught() {
+        let err = check_pair_with(OracleTask::Scrub, 0xBAD5EED, &FaultPlan::quiet(), true)
+            .expect_err("skip-repair defect must diverge");
+        assert!(err.contains("replay:"), "failure must be replayable: {err}");
+        assert!(err.contains("DUET_FAULT_SEED=0xbad5eed"), "{err}");
+    }
+
+    #[test]
+    fn error_vocabulary_is_fully_observable() {
+        let seen = exercise_error_vocabulary(0xE44);
+        for label in SimError::ALL_LABELS {
+            assert!(seen.contains(label), "no probe produced {label}");
+        }
+    }
+}

@@ -27,6 +27,7 @@ use crate::events::FsEvent;
 use crate::inode::{InodeKind, InodeTable};
 use crate::snapshot::{SnapFile, Snapshot, SnapshotId};
 use sim_cache::{PageCache, PageKey, PageMeta};
+use sim_core::fault::{FaultHandle, FaultSite};
 use sim_core::{
     BlockNr,
     DeviceId,
@@ -37,7 +38,7 @@ use sim_core::{
     SimResult,
     PAGE_SIZE, //
 };
-use sim_disk::{Disk, IoClass, IoKind, IoRequest};
+use sim_disk::{Disk, IoClass, IoKind, IoRequest, RetryPolicy};
 use std::collections::{BTreeMap, VecDeque};
 
 /// I/O accounting for one filesystem operation.
@@ -118,6 +119,8 @@ pub struct BtrfsSim {
     snapshots: BTreeMap<SnapshotId, Snapshot>,
     next_snap: u32,
     fs_events: VecDeque<FsEvent>,
+    retry: RetryPolicy,
+    faults: Option<FaultHandle>,
 }
 
 impl BtrfsSim {
@@ -135,7 +138,29 @@ impl BtrfsSim {
             snapshots: BTreeMap::new(),
             next_snap: 1,
             fs_events: VecDeque::new(),
+            retry: RetryPolicy::default(),
+            faults: None,
         }
+    }
+
+    /// Arms (or disarms) fault injection on the disk and page cache.
+    /// Transient I/O faults are absorbed by bounded retry-and-backoff
+    /// ([`RetryPolicy`]); only an exhausted retry budget surfaces as
+    /// [`SimError::TransientIo`]. Latent errors
+    /// ([`FaultSite::DiskLatentError`]) silently corrupt one block of a
+    /// write run as it lands, surfacing later as
+    /// [`SimError::ChecksumMismatch`] when something verifies the
+    /// block.
+    pub fn set_faults(&mut self, faults: Option<FaultHandle>) {
+        self.disk.set_faults(faults.clone());
+        self.cache.set_faults(faults.clone());
+        self.faults = faults;
+    }
+
+    /// Overrides the transient-I/O retry policy (the fault matrix
+    /// raises the budget under aggressive fault plans).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
     }
 
     /// The device this filesystem is mounted on.
@@ -319,10 +344,10 @@ impl BtrfsSim {
         class: IoClass,
         now: SimInstant,
         stats: &mut OpStats,
-    ) {
+    ) -> SimResult<()> {
         for run in runs {
             let req = IoRequest::new(kind, run.start, run.len, class);
-            let finish = self.disk.submit(&req, now);
+            let (finish, _) = self.disk.submit_with_retry(&req, now, self.retry)?;
             stats.finish = stats.finish.max(finish);
             match kind {
                 IoKind::Read => {
@@ -332,9 +357,19 @@ impl BtrfsSim {
                 IoKind::Write => {
                     stats.blocks_written += run.len;
                     stats.write_reqs += 1;
+                    // A latent error corrupts one block of the run as
+                    // it lands; nothing notices until a later read or
+                    // scrub verifies the checksum.
+                    if let Some(faults) = self.faults.clone() {
+                        if faults.fire(FaultSite::DiskLatentError) {
+                            let off = faults.amplitude(FaultSite::DiskLatentError, 0, run.len);
+                            let _ = self.blocks.inject_corruption(run.start.offset(off));
+                        }
+                    }
                 }
             }
         }
+        Ok(())
     }
 
     /// Writes out dirty pages evicted by cache pressure.
@@ -344,17 +379,17 @@ impl BtrfsSim {
         class: IoClass,
         now: SimInstant,
         stats: &mut OpStats,
-    ) {
+    ) -> SimResult<()> {
         let blocks: Vec<BlockNr> = evicted
             .into_iter()
             .filter(|m| m.dirty)
             .filter_map(|m| m.block)
             .collect();
         if blocks.is_empty() {
-            return;
+            return Ok(());
         }
         let runs = Self::coalesce(blocks);
-        self.submit_runs(&runs, IoKind::Write, class, now, stats);
+        self.submit_runs(&runs, IoKind::Write, class, now, stats)
     }
 
     // ----- data path ---------------------------------------------------
@@ -396,14 +431,14 @@ impl BtrfsSim {
             self.blocks.verify_checksum(*b)?;
         }
         let runs = Self::coalesce(missing.iter().map(|(_, b)| *b).collect());
-        self.submit_runs(&runs, IoKind::Read, class, now, &mut stats);
+        self.submit_runs(&runs, IoKind::Read, class, now, &mut stats)?;
         // Populate the cache; dirty evictions are charged to this op.
         let mut evicted_all = Vec::new();
         for (idx, b) in missing {
             let ev = self.cache.insert(PageKey::new(ino, idx), Some(b), false);
             evicted_all.extend(ev);
         }
-        self.write_evicted(evicted_all, class, now, &mut stats);
+        self.write_evicted(evicted_all, class, now, &mut stats)?;
         Ok(stats)
     }
 
@@ -447,7 +482,7 @@ impl BtrfsSim {
             }
             logical += run.len;
         }
-        self.write_evicted(evicted_all, class, now, &mut stats);
+        self.write_evicted(evicted_all, class, now, &mut stats)?;
         Ok(stats)
     }
 
@@ -473,7 +508,7 @@ impl BtrfsSim {
         let blocks: Vec<BlockNr> = flushed.into_iter().filter_map(|m| m.block).collect();
         if !blocks.is_empty() {
             let runs = Self::coalesce(blocks);
-            self.submit_runs(&runs, IoKind::Write, class, now, &mut stats);
+            self.submit_runs(&runs, IoKind::Write, class, now, &mut stats)?;
         }
         Ok(stats)
     }
@@ -492,7 +527,7 @@ impl BtrfsSim {
         let blocks: Vec<BlockNr> = flushed.into_iter().filter_map(|m| m.block).collect();
         if !blocks.is_empty() {
             let runs = Self::coalesce(blocks);
-            self.submit_runs(&runs, IoKind::Write, class, now, &mut stats);
+            self.submit_runs(&runs, IoKind::Write, class, now, &mut stats)?;
         }
         Ok(stats)
     }
@@ -711,7 +746,7 @@ impl BtrfsSim {
         now: SimInstant,
     ) -> SimResult<OpStats> {
         let mut stats = OpStats::none(now);
-        self.submit_runs(&[Run { start, len }], IoKind::Read, class, now, &mut stats);
+        self.submit_runs(&[Run { start, len }], IoKind::Read, class, now, &mut stats)?;
         Ok(stats)
     }
 
@@ -816,7 +851,7 @@ impl BtrfsSim {
             }
             logical += run.len;
         }
-        self.write_evicted(evicted_all, class, now, &mut stats);
+        self.write_evicted(evicted_all, class, now, &mut stats)?;
         // Phase 3: commit the transaction.
         let flush = self.fsync(ino, class, now)?;
         stats.merge(&flush);

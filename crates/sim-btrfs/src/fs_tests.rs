@@ -569,3 +569,67 @@ fn raw_read_bypasses_cache() {
     assert_eq!(fs.cache().len(), 0);
     assert_eq!(fs.cache_mut().drain_events().len(), 0);
 }
+
+#[test]
+fn latent_error_corrupts_written_block_and_surfaces_on_verify() {
+    use sim_core::fault::{FaultHandle, FaultPlan, FaultSite};
+    let mut fs = make_fs(1024, 64);
+    let ino = fs.populate_file(fs.root(), "f", page_bytes(8)).unwrap();
+    // Certain latent error on every write run: the dirtied pages land
+    // corrupted when written back.
+    let plan = FaultPlan::quiet().with_ppm(FaultSite::DiskLatentError, 1_000_000);
+    let handle = FaultHandle::new(0x1A7E, plan);
+    fs.set_faults(Some(handle.clone()));
+    assert_eq!(fs.blocks().corrupted_count(), 0);
+    fs.write(ino, 0, page_bytes(2), NORMAL, T0).unwrap();
+    fs.fsync(ino, NORMAL, T0).unwrap();
+    assert!(handle.fired(FaultSite::DiskLatentError) >= 1);
+    assert!(fs.blocks().corrupted_count() >= 1, "bit rot must land");
+    // The corruption is silent until something verifies the block; a
+    // scrub-style sweep finds and repairs it.
+    fs.set_faults(None);
+    let corrupted: Vec<BlockNr> = (0..1024)
+        .map(BlockNr)
+        .filter(|&b| {
+            matches!(
+                fs.blocks().verify_checksum(b),
+                Err(SimError::ChecksumMismatch(_))
+            )
+        })
+        .collect();
+    assert!(!corrupted.is_empty());
+    for b in corrupted {
+        assert!(fs.verify_and_repair(b).unwrap());
+    }
+    assert_eq!(fs.blocks().corrupted_count(), 0);
+}
+
+#[test]
+fn quiet_plan_leaves_write_path_byte_identical() {
+    // Arming a quiet plan must not perturb anything: same ops, same
+    // final state, no fault stream draws recorded as fired.
+    use sim_core::fault::{FaultHandle, FaultPlan, FaultSite};
+    let run = |armed: bool| {
+        let mut fs = make_fs(1024, 64);
+        if armed {
+            fs.set_faults(Some(FaultHandle::new(7, FaultPlan::quiet())));
+        }
+        let ino = fs.populate_file(fs.root(), "f", page_bytes(8)).unwrap();
+        fs.write(ino, 0, page_bytes(4), NORMAL, T0).unwrap();
+        fs.fsync(ino, NORMAL, T0).unwrap();
+        let mut state: Vec<(u64, Option<BlockNr>)> = Vec::new();
+        for p in 0..8 {
+            state.push((
+                p,
+                fs.inodes().get(ino).unwrap().extents.block_of(PageIndex(p)),
+            ));
+        }
+        state
+    };
+    assert_eq!(run(false), run(true));
+    let mut fs = make_fs(64, 8);
+    let handle = FaultHandle::new(7, FaultPlan::quiet());
+    fs.set_faults(Some(handle.clone()));
+    fs.populate_file(fs.root(), "g", page_bytes(2)).unwrap();
+    assert_eq!(handle.fired(FaultSite::DiskLatentError), 0);
+}

@@ -12,6 +12,7 @@
 //! requests, then record the flush here.
 
 use crate::page::{PageEvent, PageKey, PageMeta};
+use sim_core::fault::{FaultHandle, FaultSite};
 use sim_core::{BlockNr, InodeNr, PageIndex};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::ops::RangeInclusive;
@@ -78,6 +79,9 @@ pub struct PageCache {
     /// protected page is still evicted when nothing else is available,
     /// so this never degenerates into pinning (which §3.1 avoids).
     protected: BTreeSet<PageKey>,
+    /// Fault-injection handle; `None` (or a quiet plan) behaves
+    /// byte-identically to an unfaulted cache.
+    faults: Option<FaultHandle>,
 }
 
 impl PageCache {
@@ -98,7 +102,14 @@ impl PageCache {
             stats: CacheStats::default(),
             per_ino: BTreeMap::new(),
             protected: BTreeSet::new(),
+            faults: None,
         }
+    }
+
+    /// Arms (or disarms, with `None`) fault injection: eviction storms
+    /// on insert and dirty-page writeback failures.
+    pub fn set_faults(&mut self, faults: Option<FaultHandle>) {
+        self.faults = faults;
     }
 
     /// Replaces the advisory protection set (informed replacement).
@@ -243,7 +254,19 @@ impl PageCache {
         if dirty {
             self.push_event(meta, PageEvent::Dirtied);
         }
-        self.evict_overflow()
+        // A forced eviction storm models transient memory pressure: the
+        // cache sheds extra pages on this insert, emitting exactly the
+        // event sequences a real shrinker pass would (Flushed + Removed
+        // for dirty victims, Removed for clean ones).
+        let mut target = self.capacity;
+        if let Some(faults) = &self.faults {
+            if self.entries.len() > 1 && faults.fire(FaultSite::CacheEvictionStorm) {
+                let max_shed = ((self.capacity / 4).max(1)) as u64;
+                let shed = faults.amplitude(FaultSite::CacheEvictionStorm, 1, max_shed + 1);
+                target = self.capacity.saturating_sub(shed as usize).max(1);
+            }
+        }
+        self.evict_to(target)
     }
 
     /// How far down the LRU list eviction searches for a clean victim
@@ -252,9 +275,9 @@ impl PageCache {
     /// batched background flusher — but the search must stay bounded.
     const CLEAN_SCAN: usize = 1024;
 
-    fn evict_overflow(&mut self) -> Vec<PageMeta> {
+    fn evict_to(&mut self, target: usize) -> Vec<PageMeta> {
         let mut evicted = Vec::new();
-        while self.entries.len() > self.capacity {
+        while self.entries.len() > target {
             // Prefer the least-recently-used *clean, unprotected* page;
             // then clean protected; every entry except the most recent
             // (the page being inserted) is a candidate, up to a bounded
@@ -354,6 +377,14 @@ impl PageCache {
             .collect();
         let mut out = Vec::with_capacity(victims.len());
         for (tick, key) in victims {
+            // An injected writeback failure leaves the page dirty (no
+            // Flushed event, no writeback charged); the tick-ordered
+            // dirty index is untouched, so the next batch retries it.
+            if let Some(faults) = &self.faults {
+                if faults.fire(FaultSite::CacheWritebackFail) {
+                    continue;
+                }
+            }
             let Some(e) = self.entries.get_mut(&key) else {
                 continue;
             };
@@ -684,18 +715,19 @@ mod tests {
         let _ = PageCache::new(0);
     }
 
-    // Randomized reference tests driven by the deterministic `SimRng`
-    // (the workspace builds offline, with no proptest dep).
+    // Randomized reference tests driven by the deterministic
+    // `sim_core::check` helper (the workspace builds offline, with no
+    // proptest dep). Failures report the reproducing per-case seed.
     mod properties {
         use super::*;
-        use sim_core::SimRng;
+        use sim_core::check::{forall, CheckConfig};
 
         /// The cache never exceeds capacity, and LRU bookkeeping
         /// stays consistent under arbitrary operation sequences.
         #[test]
         fn capacity_and_consistency() {
-            for case in 0..64u64 {
-                let mut rng = SimRng::new(0xCAC4E ^ case);
+            let cfg = CheckConfig::new("cache-capacity-and-consistency", 0xCAC4E).cases(64);
+            forall(&cfg, |_case, rng| {
                 let cap = rng.gen_range(1, 8) as usize;
                 let mut c = PageCache::new(cap);
                 for _ in 0..rng.gen_range(0, 200) {
@@ -739,15 +771,17 @@ mod tests {
                     let dirty_scan = c.iter().filter(|m| m.dirty).count();
                     assert_eq!(c.dirty_len(), dirty_scan);
                 }
-            }
+                Ok(())
+            })
+            .unwrap();
         }
 
         /// Every Added event is eventually balanced by a Removed
         /// event or a still-resident page.
         #[test]
         fn added_minus_removed_equals_resident() {
-            for case in 0..64u64 {
-                let mut rng = SimRng::new(0xADD ^ case);
+            let cfg = CheckConfig::new("cache-added-removed-balance", 0xADD).cases(64);
+            forall(&cfg, |_case, rng| {
                 let mut c = PageCache::new(3);
                 for _ in 0..rng.gen_range(0, 100) {
                     let op = rng.gen_range(0, 2);
@@ -766,7 +800,131 @@ mod tests {
                 let added = evs.iter().filter(|(_, e)| *e == PageEvent::Added).count();
                 let removed = evs.iter().filter(|(_, e)| *e == PageEvent::Removed).count();
                 assert_eq!(added - removed, c.len());
+                Ok(())
+            })
+            .unwrap();
+        }
+    }
+
+    mod faults {
+        use super::*;
+        use sim_core::fault::{FaultHandle, FaultPlan, FaultSite};
+
+        fn storm_plan() -> FaultPlan {
+            FaultPlan::quiet().with_ppm(FaultSite::CacheEvictionStorm, 1_000_000)
+        }
+
+        /// Learn the shed amplitude a given seed will draw, from a
+        /// replica injector with the same `(seed, plan)` pair.
+        fn predicted_shed(seed: u64, capacity: usize) -> u64 {
+            let replica = FaultHandle::new(seed, storm_plan());
+            assert!(replica.fire(FaultSite::CacheEvictionStorm));
+            let max_shed = ((capacity / 4).max(1)) as u64;
+            replica.amplitude(FaultSite::CacheEvictionStorm, 1, max_shed + 1)
+        }
+
+        #[test]
+        fn eviction_storm_fires_exact_clean_event_sequence() {
+            let seed = 11;
+            let mut c = PageCache::new(8);
+            for i in 0..7 {
+                c.insert(key(1, i), Some(BlockNr(100 + i)), false);
             }
+            c.drain_events();
+            let handle = FaultHandle::new(seed, storm_plan());
+            c.set_faults(Some(handle.clone()));
+            let shed = predicted_shed(seed, 8);
+            let evicted = c.insert(key(2, 0), None, false);
+            assert_eq!(handle.fired(FaultSite::CacheEvictionStorm), 1);
+            assert_eq!(evicted.len(), shed as usize, "storm sheds the drawn amount");
+            assert_eq!(c.len(), 8 - shed as usize);
+            // Exact hook sequence Duet sees: Added for the insert, then
+            // one Removed per clean victim, oldest first.
+            let evs = c.drain_events();
+            assert_eq!(evs.len(), 1 + shed as usize);
+            assert_eq!(evs[0].1, PageEvent::Added);
+            assert_eq!(evs[0].0.key, key(2, 0));
+            for (i, (meta, ev)) in evs.iter().skip(1).enumerate() {
+                assert_eq!(*ev, PageEvent::Removed);
+                assert_eq!(meta.key, key(1, i as u64), "oldest clean pages go first");
+                assert!(!meta.dirty);
+            }
+        }
+
+        #[test]
+        fn eviction_storm_flushes_dirty_victims() {
+            let seed = 11;
+            let mut c = PageCache::new(8);
+            for i in 0..7 {
+                c.insert(key(1, i), Some(BlockNr(100 + i)), true);
+            }
+            c.drain_events();
+            c.set_faults(Some(FaultHandle::new(seed, storm_plan())));
+            let shed = predicted_shed(seed, 8);
+            let evicted = c.insert(key(2, 0), None, false);
+            // All victims were dirty: caller must charge their writes.
+            assert_eq!(evicted.len(), shed as usize);
+            assert!(evicted.iter().all(|m| m.dirty));
+            // Exact sequence: Added, then Flushed + Removed per victim.
+            let evs = c.drain_events();
+            assert_eq!(evs.len(), 1 + 2 * shed as usize);
+            assert_eq!(evs[0].1, PageEvent::Added);
+            for v in 0..shed as usize {
+                let (fm, fe) = &evs[1 + 2 * v];
+                let (rm, re) = &evs[2 + 2 * v];
+                assert_eq!(*fe, PageEvent::Flushed);
+                assert!(!fm.dirty, "Flushed reports the page clean");
+                assert_eq!(*re, PageEvent::Removed);
+                assert_eq!(fm.key, rm.key);
+                assert_eq!(fm.key, key(1, v as u64), "oldest dirty pages go first");
+            }
+        }
+
+        #[test]
+        fn writeback_failure_leaves_pages_dirty_for_retry() {
+            let plan = FaultPlan::quiet().with_ppm(FaultSite::CacheWritebackFail, 1_000_000);
+            let handle = FaultHandle::new(5, plan);
+            let mut c = PageCache::new(8);
+            for i in 0..3 {
+                c.insert(key(1, i), Some(BlockNr(i)), true);
+            }
+            c.drain_events();
+            c.set_faults(Some(handle.clone()));
+            // Every writeback fails: nothing flushed, nothing cleaned.
+            let batch = c.writeback_batch(8);
+            assert!(batch.is_empty());
+            assert_eq!(c.dirty_len(), 3);
+            assert!(
+                c.drain_events().is_empty(),
+                "failed writeback emits no events"
+            );
+            assert_eq!(handle.fired(FaultSite::CacheWritebackFail), 3);
+            // The fault clears: the retry flushes the same pages,
+            // oldest first, as if the failure never happened.
+            c.set_faults(None);
+            let batch = c.writeback_batch(8);
+            assert_eq!(batch.len(), 3);
+            assert_eq!(batch[0].key, key(1, 0));
+            assert_eq!(c.dirty_len(), 0);
+            let evs = c.drain_events();
+            assert!(evs.iter().all(|(_, e)| *e == PageEvent::Flushed));
+        }
+
+        #[test]
+        fn quiet_plan_is_byte_identical_to_unfaulted() {
+            let mut armed = PageCache::new(4);
+            armed.set_faults(Some(FaultHandle::new(9, FaultPlan::quiet())));
+            let mut clean = PageCache::new(4);
+            for i in 0..32u64 {
+                let k = key(i % 5, i % 3);
+                assert_eq!(
+                    armed.insert(k, None, i % 2 == 0),
+                    clean.insert(k, None, i % 2 == 0)
+                );
+                assert_eq!(armed.writeback_batch(2), clean.writeback_batch(2));
+            }
+            assert_eq!(armed.drain_events(), clean.drain_events());
+            assert_eq!(armed.stats(), clean.stats());
         }
     }
 }

@@ -23,6 +23,9 @@ pub enum SimError {
     NoSpace,
     /// A checksum verification failed (simulated latent sector error).
     ChecksumMismatch(BlockNr),
+    /// A transient I/O error (EIO) on submission; the request may
+    /// succeed if retried after a short backoff.
+    TransientIo(BlockNr),
     /// A Duet session id is invalid or has been deregistered.
     InvalidSession(u32),
     /// All Duet session slots are in use (the framework supports a fixed
@@ -38,6 +41,45 @@ pub enum SimError {
     InvalidArgument(String),
 }
 
+impl SimError {
+    /// Stable variant names, used by the fault-matrix suite to assert
+    /// that every error arm is reachable via an injected fault.
+    pub const ALL_LABELS: [&'static str; 13] = [
+        "NoSuchInode",
+        "NoSuchPath",
+        "NotADirectory",
+        "AlreadyExists",
+        "BlockOutOfRange",
+        "NoSpace",
+        "ChecksumMismatch",
+        "TransientIo",
+        "InvalidSession",
+        "TooManySessions",
+        "PathNotAvailable",
+        "Unsupported",
+        "InvalidArgument",
+    ];
+
+    /// The variant name of this error (see [`SimError::ALL_LABELS`]).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SimError::NoSuchInode(_) => "NoSuchInode",
+            SimError::NoSuchPath(_) => "NoSuchPath",
+            SimError::NotADirectory(_) => "NotADirectory",
+            SimError::AlreadyExists(_) => "AlreadyExists",
+            SimError::BlockOutOfRange(_) => "BlockOutOfRange",
+            SimError::NoSpace => "NoSpace",
+            SimError::ChecksumMismatch(_) => "ChecksumMismatch",
+            SimError::TransientIo(_) => "TransientIo",
+            SimError::InvalidSession(_) => "InvalidSession",
+            SimError::TooManySessions => "TooManySessions",
+            SimError::PathNotAvailable(_) => "PathNotAvailable",
+            SimError::Unsupported(_) => "Unsupported",
+            SimError::InvalidArgument(_) => "InvalidArgument",
+        }
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -48,6 +90,7 @@ impl fmt::Display for SimError {
             SimError::BlockOutOfRange(b) => write!(f, "block out of range: {b}"),
             SimError::NoSpace => write!(f, "no space left on device"),
             SimError::ChecksumMismatch(b) => write!(f, "checksum mismatch at {b}"),
+            SimError::TransientIo(b) => write!(f, "transient I/O error (EIO) at {b}"),
             SimError::InvalidSession(id) => write!(f, "invalid duet session: {id}"),
             SimError::TooManySessions => write!(f, "too many concurrent duet sessions"),
             SimError::PathNotAvailable(ino) => {

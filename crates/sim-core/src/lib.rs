@@ -21,10 +21,17 @@
 //! - [`stats`]: mean / standard deviation / confidence intervals and
 //!   simple counters used by the evaluation harness.
 //! - [`error`]: the shared error type.
+//! - [`fault`]: the deterministic fault-injection plane — a
+//!   `(seed, plan)` pair drives replayable fault decisions at named
+//!   sites throughout the stack.
+//! - [`check`]: a zero-dependency property-test helper with
+//!   deterministic case generation and seed-reporting failures.
 
 pub mod bitmap;
+pub mod check;
 pub mod clock;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod rng;
 pub mod stats;
@@ -32,6 +39,7 @@ pub mod stats;
 pub use bitmap::SparseBitmap;
 pub use clock::{Clock, SimDuration, SimInstant};
 pub use error::{SimError, SimResult};
+pub use fault::{FaultHandle, FaultInjector, FaultPlan, FaultSite};
 pub use ids::{
     BlockNr,
     DeviceId,

@@ -29,10 +29,11 @@ pub mod ssd;
 pub use hdd::HddModel;
 pub use metrics::{ClassMetrics, DiskMetrics};
 pub use request::{IoClass, IoKind, IoRequest};
-pub use scheduler::SchedulerPolicy;
+pub use scheduler::{RetryPolicy, SchedulerPolicy};
 pub use ssd::SsdModel;
 
-use sim_core::{BlockNr, SimDuration, SimInstant, PAGE_SIZE};
+use sim_core::fault::{FaultHandle, FaultSite};
+use sim_core::{BlockNr, SimDuration, SimError, SimInstant, SimResult, PAGE_SIZE};
 
 /// A device model computes the service time of one request, given its
 /// own internal state (e.g. head position).
@@ -70,6 +71,7 @@ pub struct Disk {
     model: Box<dyn DeviceModel>,
     busy_until: SimInstant,
     metrics: DiskMetrics,
+    faults: Option<FaultHandle>,
 }
 
 impl Disk {
@@ -79,7 +81,15 @@ impl Disk {
             model,
             busy_until: SimInstant::EPOCH,
             metrics: DiskMetrics::default(),
+            faults: None,
         }
+    }
+
+    /// Arms (or disarms, with `None`) fault injection on this device.
+    /// With no handle — or a quiet plan — behaviour is byte-identical
+    /// to an unfaulted disk.
+    pub fn set_faults(&mut self, faults: Option<FaultHandle>) {
+        self.faults = faults;
     }
 
     /// Device capacity in blocks.
@@ -113,8 +123,68 @@ impl Disk {
             "I/O past end of device: {:?}",
             req
         );
+        self.execute(req, now)
+    }
+
+    /// Fallible variant of [`Disk::submit`]: out-of-range requests
+    /// return [`SimError::BlockOutOfRange`] instead of panicking, and an
+    /// armed [`FaultSite::DiskTransientIo`] fault yields
+    /// [`SimError::TransientIo`] without occupying the device — the
+    /// caller retries after a backoff (see [`Disk::submit_with_retry`]).
+    pub fn try_submit(&mut self, req: &IoRequest, now: SimInstant) -> SimResult<SimInstant> {
+        if req.start.raw() + req.nblocks > self.model.capacity_blocks() {
+            return Err(SimError::BlockOutOfRange(request_end(
+                req.start,
+                req.nblocks,
+            )));
+        }
+        if let Some(faults) = &self.faults {
+            if faults.fire(FaultSite::DiskTransientIo) {
+                return Err(SimError::TransientIo(req.start));
+            }
+        }
+        Ok(self.execute(req, now))
+    }
+
+    /// Submits with bounded retry-and-backoff in virtual time: on a
+    /// transient EIO the submission time advances by the policy's
+    /// backoff and the request is retried, up to `max_attempts` total
+    /// tries. Returns the completion time and the number of attempts
+    /// used. Non-transient errors propagate immediately.
+    pub fn submit_with_retry(
+        &mut self,
+        req: &IoRequest,
+        now: SimInstant,
+        policy: RetryPolicy,
+    ) -> SimResult<(SimInstant, u32)> {
+        let mut at = now;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.try_submit(req, at) {
+                Ok(finish) => return Ok((finish, attempt)),
+                Err(SimError::TransientIo(b)) => {
+                    if attempt >= policy.max_attempts {
+                        return Err(SimError::TransientIo(b));
+                    }
+                    at += policy.backoff_after(attempt - 1);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Executes an in-range request: FIFO queueing plus the device
+    /// model's service time, with an armed latency-spike fault
+    /// multiplying the service time deterministically.
+    fn execute(&mut self, req: &IoRequest, now: SimInstant) -> SimInstant {
         let start = self.busy_until.max(now);
-        let service = self.model.service_time(req);
+        let mut service = self.model.service_time(req);
+        if let Some(faults) = &self.faults {
+            if faults.fire(FaultSite::DiskLatencySpike) {
+                service = service * faults.amplitude(FaultSite::DiskLatencySpike, 2, 17);
+            }
+        }
         let finish = start + service;
         self.busy_until = finish;
         self.metrics.record(req, service);
@@ -214,5 +284,98 @@ mod tests {
         assert_eq!(blocks_for_bytes(1), 1);
         assert_eq!(blocks_for_bytes(PAGE_SIZE * 3), 3);
         assert_eq!(request_end(BlockNr(10), 5), BlockNr(15));
+    }
+
+    mod faults {
+        use super::*;
+        use sim_core::fault::{FaultHandle, FaultPlan, FaultSite};
+
+        fn disk_with(plan: FaultPlan, seed: u64) -> (Disk, FaultHandle) {
+            let handle = FaultHandle::new(seed, plan);
+            let mut disk = Disk::new(Box::new(HddModel::sas_10k(1 << 20)));
+            disk.set_faults(Some(handle.clone()));
+            (disk, handle)
+        }
+
+        #[test]
+        fn try_submit_out_of_range_is_an_error_not_a_panic() {
+            let mut disk = Disk::new(Box::new(HddModel::sas_10k(100)));
+            let err = disk
+                .try_submit(&read(99, 2), SimInstant::EPOCH)
+                .unwrap_err();
+            assert_eq!(err, sim_core::SimError::BlockOutOfRange(BlockNr(101)));
+        }
+
+        #[test]
+        fn certain_eio_exhausts_retries_with_pinned_attempt_count() {
+            let plan = FaultPlan::quiet().with_ppm(FaultSite::DiskTransientIo, 1_000_000);
+            let (mut disk, handle) = disk_with(plan, 1);
+            let policy = RetryPolicy::default();
+            let err = disk
+                .submit_with_retry(&read(0, 8), SimInstant::EPOCH, policy)
+                .unwrap_err();
+            assert_eq!(err, sim_core::SimError::TransientIo(BlockNr(0)));
+            // Exactly max_attempts tries hit the EIO site — no more.
+            assert_eq!(handle.fired(FaultSite::DiskTransientIo), 4);
+            assert_eq!(handle.trials(FaultSite::DiskTransientIo), 4);
+            // The device never executed anything.
+            assert_eq!(disk.busy_until(), SimInstant::EPOCH);
+        }
+
+        #[test]
+        fn retry_backoff_is_charged_in_virtual_time() {
+            // Find a seed whose EIO stream fails exactly the first two
+            // attempts at 50% rate, then compare the completion time
+            // against an unfaulted run shifted by the pinned backoff.
+            let plan = FaultPlan::quiet().with_ppm(FaultSite::DiskTransientIo, 500_000);
+            let policy = RetryPolicy::default();
+            let mut pinned = None;
+            for seed in 0..64u64 {
+                let (mut disk, handle) = disk_with(plan.clone(), seed);
+                let Ok((finish, attempts)) =
+                    disk.submit_with_retry(&read(0, 8), SimInstant::EPOCH, policy)
+                else {
+                    continue; // this seed exhausted all attempts
+                };
+                if attempts == 3 {
+                    assert_eq!(handle.fired(FaultSite::DiskTransientIo), 2);
+                    pinned = Some(finish);
+                    break;
+                }
+            }
+            let finish = pinned.expect("some seed in 0..64 yields exactly 2 EIOs");
+            // Unfaulted service time for the same request on a fresh model.
+            let mut clean = Disk::new(Box::new(HddModel::sas_10k(1 << 20)));
+            let base = clean.submit(&read(0, 8), SimInstant::EPOCH);
+            // Two failed attempts back off 0.5 ms then 1 ms.
+            let backoff = SimDuration::from_micros(500) + SimDuration::from_millis(1);
+            assert_eq!(finish, base + backoff);
+        }
+
+        #[test]
+        fn latency_spike_multiplies_service_deterministically() {
+            let plan = FaultPlan::quiet().with_ppm(FaultSite::DiskLatencySpike, 1_000_000);
+            let (mut spiky, _) = disk_with(plan.clone(), 7);
+            let spiked = spiky.submit(&read(0, 8), SimInstant::EPOCH);
+            let mut clean = Disk::new(Box::new(HddModel::sas_10k(1 << 20)));
+            let base = clean.submit(&read(0, 8), SimInstant::EPOCH);
+            assert!(spiked > base, "spike must slow the request down");
+            // Same (seed, plan) pair replays bit-identically.
+            let (mut replay, _) = disk_with(plan, 7);
+            assert_eq!(replay.submit(&read(0, 8), SimInstant::EPOCH), spiked);
+        }
+
+        #[test]
+        fn quiet_plan_is_byte_identical_to_unfaulted() {
+            let (mut armed, handle) = disk_with(FaultPlan::quiet(), 3);
+            let mut clean = Disk::new(Box::new(HddModel::sas_10k(1 << 20)));
+            let mut t = SimInstant::EPOCH;
+            for i in 0..32 {
+                let req = read(i * 1000, 8);
+                assert_eq!(armed.try_submit(&req, t).unwrap(), clean.submit(&req, t));
+                t = armed.busy_until();
+            }
+            assert_eq!(handle.total_fired(), 0);
+        }
     }
 }

@@ -87,6 +87,47 @@ impl SchedulerPolicy {
     }
 }
 
+/// Bounded retry-and-backoff for transient I/O errors, in virtual time.
+///
+/// The real kernel retries a failed bio a bounded number of times before
+/// surfacing EIO; we model that with exponential backoff — attempt `k`
+/// (0-based) waits `base_backoff << k` before resubmitting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total tries, including the first submission.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: SimDuration,
+}
+
+impl RetryPolicy {
+    /// The backoff inserted after failed attempt `attempt` (0-based):
+    /// `base_backoff * 2^attempt`.
+    pub fn backoff_after(&self, attempt: u32) -> SimDuration {
+        self.base_backoff * (1u64 << attempt.min(20))
+    }
+
+    /// Total virtual time spent backing off if every attempt but the
+    /// last fails.
+    pub fn worst_case_backoff(&self) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for attempt in 0..self.max_attempts.saturating_sub(1) {
+            total += self.backoff_after(attempt);
+        }
+        total
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts with a 500 µs initial backoff (0.5, 1, 2 ms).
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: SimDuration::from_micros(500),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +166,19 @@ mod tests {
         assert!(!p.may_dispatch_maintenance(now, free, Some(now - MS(1))));
         // Foreground strictly in the future: allowed.
         assert!(p.may_dispatch_maintenance(now, free, Some(now + MS(1))));
+    }
+
+    #[test]
+    fn retry_backoff_doubles() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: SimDuration::from_micros(500),
+        };
+        assert_eq!(p.backoff_after(0), SimDuration::from_micros(500));
+        assert_eq!(p.backoff_after(1), SimDuration::from_millis(1));
+        assert_eq!(p.backoff_after(2), SimDuration::from_millis(2));
+        // 0.5 + 1 + 2 ms across the three possible retries.
+        assert_eq!(p.worst_case_backoff(), SimDuration::from_micros(3_500));
     }
 
     #[test]

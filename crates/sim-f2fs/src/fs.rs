@@ -18,6 +18,7 @@
 
 use crate::segment::{segment_of, segment_start, SegState, SegmentInfo};
 use sim_cache::{PageCache, PageKey, PageMeta};
+use sim_core::fault::FaultHandle;
 use sim_core::{
     BlockNr,
     DeviceId,
@@ -29,7 +30,7 @@ use sim_core::{
     SimResult,
     PAGE_SIZE, //
 };
-use sim_disk::{Disk, IoClass, IoKind, IoRequest};
+use sim_disk::{Disk, IoClass, IoKind, IoRequest, RetryPolicy};
 use std::collections::BTreeMap;
 
 /// I/O accounting for one operation (mirror of the Btrfs-side struct,
@@ -118,6 +119,7 @@ pub struct F2fsSim {
     free_segs: u32,
     /// Threshold of free segments below which SSR engages.
     ssr_threshold: u32,
+    retry: RetryPolicy,
 }
 
 impl F2fsSim {
@@ -152,10 +154,26 @@ impl F2fsSim {
             write_clock: 0,
             free_segs: nsegs,
             ssr_threshold: 4,
+            retry: RetryPolicy::default(),
         };
         fs.segs[0].state = SegState::Open;
         fs.free_segs -= 1;
         fs
+    }
+
+    /// Arms (or disarms) fault injection on the disk and page cache.
+    /// Transient I/O faults are absorbed by bounded retry-and-backoff
+    /// ([`RetryPolicy`]); only an exhausted retry budget surfaces as
+    /// [`SimError::TransientIo`].
+    pub fn set_faults(&mut self, faults: Option<FaultHandle>) {
+        self.disk.set_faults(faults.clone());
+        self.cache.set_faults(faults);
+    }
+
+    /// Overrides the transient-I/O retry policy (the fault matrix
+    /// raises the budget under aggressive fault plans).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
     }
 
     /// Device identifier.
@@ -462,22 +480,24 @@ impl F2fsSim {
         blocks.sort_unstable();
         let mut run_start = blocks[0];
         let mut run_len = 1u64;
-        let submit = |fs: &mut Self, start: BlockNr, len: u64, stats: &mut OpStats| {
-            let req = IoRequest::new(IoKind::Write, start, len, class);
-            let finish = fs.disk.submit(&req, now);
-            stats.blocks_written += len;
-            stats.finish = stats.finish.max(finish);
-        };
+        let submit =
+            |fs: &mut Self, start: BlockNr, len: u64, stats: &mut OpStats| -> SimResult<()> {
+                let req = IoRequest::new(IoKind::Write, start, len, class);
+                let (finish, _) = fs.disk.submit_with_retry(&req, now, fs.retry)?;
+                stats.blocks_written += len;
+                stats.finish = stats.finish.max(finish);
+                Ok(())
+            };
         for &b in &blocks[1..] {
             if b.raw() == run_start.raw() + run_len {
                 run_len += 1;
             } else {
-                submit(self, run_start, run_len, stats);
+                submit(self, run_start, run_len, stats)?;
                 run_start = b;
                 run_len = 1;
             }
         }
-        submit(self, run_start, run_len, stats);
+        submit(self, run_start, run_len, stats)?;
         Ok(())
     }
 
@@ -522,7 +542,7 @@ impl F2fsSim {
                 i += 1;
             }
             let req = IoRequest::new(IoKind::Read, start, len, class);
-            let finish = self.disk.submit(&req, now);
+            let (finish, _) = self.disk.submit_with_retry(&req, now, self.retry)?;
             stats.blocks_read += len;
             stats.finish = stats.finish.max(finish);
             i += 1;
@@ -657,7 +677,7 @@ impl F2fsSim {
                 i += 1;
             }
             let req = IoRequest::new(IoKind::Read, start, len, class);
-            let finish = self.disk.submit(&req, now);
+            let (finish, _) = self.disk.submit_with_retry(&req, now, self.retry)?;
             stats.blocks_read += len;
             stats.finish = stats.finish.max(finish);
             i += 1;

@@ -23,6 +23,12 @@ cargo run -q -p xtask -- lint
 echo "==> cargo test --workspace"
 cargo test -q --workspace
 
+echo "==> fault matrix (fixed seed)"
+# The deterministic anchor: the full task × fault-plan grid under a
+# pinned seed. CI runs a second pass with a rotating (but logged) seed;
+# replay any failure with the printed DUET_FAULT_SEED / DUET_FAULT_PLAN.
+DUET_FAULT_SEED=0xd0e7f457 cargo test -q -p experiments --test fault_matrix
+
 echo "==> repro_all smoke (DUET_SCALE=512 DUET_JOBS=2, time-bounded)"
 cargo build -q --release -p bench --bin repro_all
 timeout 600 env DUET_SCALE=512 DUET_JOBS=2 ./target/release/repro_all \
