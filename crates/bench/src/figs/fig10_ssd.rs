@@ -7,8 +7,9 @@
 //! the backup's 64 KiB random reads run no faster.
 
 use crate::sweeps::util_grid;
+use crate::trace::{self, TraceAgg};
 use crate::{f2, pool, BenchResult, Report, Sink};
-use experiments::{paper_scaled, run_experiment_cached, DeviceKind, ProfileCache, TaskKind};
+use experiments::{paper_scaled, run_experiment_cached_traced, DeviceKind, ProfileCache, TaskKind};
 use workloads::{DistKind, Personality};
 
 /// Runs the harness at 1/`scale` of the paper setup.
@@ -39,8 +40,11 @@ pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
         .flat_map(|&u| variants.iter().map(move |&(t, d)| (u, t, d)))
         .collect();
     let profiles = ProfileCache::new();
-    let saved =
-        pool::try_run_indexed(cells.len(), pool::jobs(), |i| -> sim_core::SimResult<f64> {
+    let traced = trace::enabled();
+    let ran = pool::try_run_indexed(
+        cells.len(),
+        pool::jobs(),
+        |i| -> sim_core::SimResult<(f64, Vec<(String, u64)>)> {
             let (util, task, device) = cells[i];
             let mut cfg = paper_scaled(
                 scale,
@@ -52,13 +56,25 @@ pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
                 true,
             );
             cfg.device = device;
-            Ok(run_experiment_cached(&cfg, &profiles)?.io_saved())
-        })?;
+            let handle = trace::cell(traced);
+            let saved = run_experiment_cached_traced(&cfg, &profiles, handle.as_ref())?.io_saved();
+            Ok((saved, trace::harvest(handle)))
+        },
+    )?;
+    let mut traces = TraceAgg::new(traced);
+    let saved: Vec<f64> = ran
+        .into_iter()
+        .map(|(v, counters)| {
+            traces.merge(counters);
+            v
+        })
+        .collect();
     for (util, vals) in utils.iter().zip(saved.chunks(variants.len())) {
         let mut row = vec![f2(*util)];
         row.extend(vals.iter().map(|&v| f2(v)));
         report.row(sink, &row);
     }
     report.save(sink)?;
+    traces.save("fig10_ssd", sink)?;
     Ok(())
 }

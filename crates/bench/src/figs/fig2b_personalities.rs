@@ -12,8 +12,9 @@
 //! - both: "using the skewed file access distribution reduces the I/O
 //!   saved by 15-30 %".
 
+use crate::trace::{self, TraceAgg};
 use crate::{f2, pool, BenchResult, Report, Sink};
-use experiments::{paper_scaled, run_experiment_cached, ProfileCache, TaskKind};
+use experiments::{paper_scaled, run_experiment_cached_traced, ProfileCache, TaskKind};
 use workloads::{DistKind, Personality};
 
 /// Runs the harness at 1/`scale` of the paper setup.
@@ -48,12 +49,26 @@ pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
         .flat_map(|&t| combos.iter().map(move |&(p, d)| (t, p, d)))
         .collect();
     let profiles = ProfileCache::new();
-    let saved =
-        pool::try_run_indexed(cells.len(), pool::jobs(), |i| -> sim_core::SimResult<f64> {
+    let traced = trace::enabled();
+    let ran = pool::try_run_indexed(
+        cells.len(),
+        pool::jobs(),
+        |i| -> sim_core::SimResult<(f64, Vec<(String, u64)>)> {
             let (task, personality, dist) = cells[i];
             let cfg = paper_scaled(scale, personality, dist, 1.0, util, vec![task], true);
-            Ok(run_experiment_cached(&cfg, &profiles)?.io_saved())
-        })?;
+            let handle = trace::cell(traced);
+            let saved = run_experiment_cached_traced(&cfg, &profiles, handle.as_ref())?.io_saved();
+            Ok((saved, trace::harvest(handle)))
+        },
+    )?;
+    let mut traces = TraceAgg::new(traced);
+    let saved: Vec<f64> = ran
+        .into_iter()
+        .map(|(v, counters)| {
+            traces.merge(counters);
+            v
+        })
+        .collect();
     for (task, s) in tasks.iter().zip(saved.chunks(combos.len())) {
         let (web, proxy, file, web_ms) = (s[0], s[1], s[2], s[3]);
         report.row(
@@ -70,6 +85,7 @@ pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
         );
     }
     report.save(sink)?;
+    traces.save("fig2b_personalities", sink)?;
     sink.line(
         "\nPaper shape: webproxy ≈ webserver; fileserver well below both \
          (~40%); the skewed distribution costs 15-30% of the savings.",

@@ -4,8 +4,9 @@
 //! Expected shape (§6.2): speedup grows with overlap, reaching about
 //! 2× at 100 % (all source reads saved; destination writes remain).
 
+use crate::trace::{self, TraceAgg};
 use crate::{f2, pool, BenchResult, Report, Sink};
-use experiments::{paper_scaled, run_rsync_experiment, speedup};
+use experiments::{paper_scaled, run_rsync_experiment_traced, speedup};
 use workloads::{DistKind, Personality};
 
 /// Runs the harness at 1/`scale` of the paper setup.
@@ -29,7 +30,8 @@ pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
         .iter()
         .flat_map(|&o| [false, true].into_iter().map(move |d| (o, d)))
         .collect();
-    let runs = pool::try_run_indexed(cells.len(), pool::jobs(), |i| {
+    let traced = trace::enabled();
+    let ran = pool::try_run_indexed(cells.len(), pool::jobs(), |i| {
         let (overlap, duet) = cells[i];
         let cfg = paper_scaled(
             scale,
@@ -40,8 +42,18 @@ pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
             vec![],
             true,
         );
-        run_rsync_experiment(&cfg, duet)
+        let handle = trace::cell(traced);
+        let r = run_rsync_experiment_traced(&cfg, duet, handle.as_ref())?;
+        sim_core::SimResult::Ok((r, trace::harvest(handle)))
     })?;
+    let mut traces = TraceAgg::new(traced);
+    let runs: Vec<_> = ran
+        .into_iter()
+        .map(|(r, counters)| {
+            traces.merge(counters);
+            r
+        })
+        .collect();
     for (&overlap, pair) in overlaps.iter().zip(runs.chunks(2)) {
         let (base, duet) = (&pair[0], &pair[1]);
         report.row(
@@ -56,5 +68,6 @@ pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
         );
     }
     report.save(sink)?;
+    traces.save("fig4_rsync_speedup", sink)?;
     Ok(())
 }

@@ -13,31 +13,38 @@
 //! profile depends only on the (personality, distribution) shape, so 5
 //! calibration runs serve the whole table.
 
+use crate::trace::{self, TraceAgg};
 use crate::{pct, pool, BenchResult, Report, Sink};
-use experiments::{max_utilization, paper_scaled, run_experiment_cached, ProfileCache, TaskKind};
+use experiments::{
+    max_utilization, paper_scaled, run_experiment_cached_traced, ProfileCache, TaskKind,
+};
 use sim_core::SimResult;
 use workloads::{DistKind, Personality};
 
+type CellSpec = (Personality, DistKind, f64, TaskKind, bool);
+
 fn cell(
     scale: u64,
-    personality: Personality,
-    dist: DistKind,
-    overlap: f64,
-    task: TaskKind,
-    duet: bool,
+    spec: CellSpec,
     profiles: &ProfileCache,
-) -> SimResult<String> {
+    traced: bool,
+) -> SimResult<(String, Vec<(String, u64)>)> {
+    let (personality, dist, overlap, task, duet) = spec;
+    // One handle per cell: the bisection's inner runs accumulate into
+    // the same counters.
+    let handle = trace::cell(traced);
     let completes = |util: f64| -> SimResult<bool> {
         let mut cfg = paper_scaled(scale, personality, dist, overlap, util, vec![task], duet);
         if task == TaskKind::Defrag {
             cfg.fragmentation = Some((0.1, 5));
         }
-        Ok(run_experiment_cached(&cfg, profiles)?.all_completed())
+        Ok(run_experiment_cached_traced(&cfg, profiles, handle.as_ref())?.all_completed())
     };
-    Ok(match max_utilization(completes)? {
+    let label = match max_utilization(completes)? {
         Some(u) => pct(u),
         None => "never".into(),
-    })
+    };
+    Ok((label, trace::harvest(handle)))
 }
 
 /// Runs the harness at 1/`scale` of the paper setup.
@@ -115,7 +122,7 @@ pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
     );
     report.print_header(sink);
     let tasks = [TaskKind::Scrub, TaskKind::Backup, TaskKind::Defrag];
-    let cells: Vec<(Personality, DistKind, f64, TaskKind, bool)> = rows
+    let cells: Vec<CellSpec> = rows
         .iter()
         .flat_map(|&(_, personality, overlap, dist)| {
             tasks.iter().flat_map(move |&task| {
@@ -126,10 +133,18 @@ pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
         })
         .collect();
     let profiles = ProfileCache::new();
-    let values = pool::try_run_indexed(cells.len(), pool::jobs(), |i| {
-        let (personality, dist, overlap, task, duet) = cells[i];
-        cell(scale, personality, dist, overlap, task, duet, &profiles)
+    let traced = trace::enabled();
+    let ran = pool::try_run_indexed(cells.len(), pool::jobs(), |i| {
+        cell(scale, cells[i], &profiles, traced)
     })?;
+    let mut traces = TraceAgg::new(traced);
+    let values: Vec<String> = ran
+        .into_iter()
+        .map(|(label, counters)| {
+            traces.merge(counters);
+            label
+        })
+        .collect();
     let per_row = tasks.len() * 2;
     for ((label, ..), vals) in rows.iter().zip(values.chunks(per_row)) {
         let mut row = vec![label.to_string()];
@@ -137,5 +152,6 @@ pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
         report.row(sink, &row);
     }
     report.save(sink)?;
+    traces.save("table5_max_util", sink)?;
     Ok(())
 }

@@ -6,8 +6,9 @@
 //! grows, because more of the victim segments' valid blocks are cached
 //! and need no synchronous read.
 
+use crate::trace::{self, TraceAgg};
 use crate::{f2, pool, BenchResult, Report, Sink};
-use experiments::{run_gc_experiment, GcExperimentConfig};
+use experiments::{run_gc_experiment_traced, GcExperimentConfig};
 use sim_core::SimDuration;
 use sim_disk::SchedulerPolicy;
 use sim_f2fs::VictimPolicy;
@@ -70,10 +71,21 @@ pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
         .iter()
         .flat_map(|&u| [false, true].into_iter().map(move |d| (u, d)))
         .collect();
-    let runs = pool::try_run_indexed(cells.len(), pool::jobs(), |i| {
+    let traced = trace::enabled();
+    let ran = pool::try_run_indexed(cells.len(), pool::jobs(), |i| {
         let (util, duet) = cells[i];
-        run_gc_experiment(&gc_cfg(scale, util, duet))
+        let handle = trace::cell(traced);
+        let r = run_gc_experiment_traced(&gc_cfg(scale, util, duet), handle.as_ref())?;
+        sim_core::SimResult::Ok((r, trace::harvest(handle)))
     })?;
+    let mut traces = TraceAgg::new(traced);
+    let runs: Vec<_> = ran
+        .into_iter()
+        .map(|(r, counters)| {
+            traces.merge(counters);
+            r
+        })
+        .collect();
     for (&util, pair) in utils.iter().zip(runs.chunks(2)) {
         let (base, duet) = (&pair[0], &pair[1]);
         report.row(
@@ -89,5 +101,6 @@ pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
         );
     }
     report.save(sink)?;
+    traces.save("table6_gc_cleaning", sink)?;
     Ok(())
 }

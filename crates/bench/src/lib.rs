@@ -243,3 +243,4 @@ pub mod harness;
 pub mod pool;
 pub mod sweeps;
 pub mod synthfs;
+pub mod trace;

@@ -5,11 +5,15 @@
 //! execute on up to `jobs` workers, results come back in grid order, so
 //! the rendered report is byte-identical to a sequential run. Each
 //! sweep shares one [`ProfileCache`], so the §6.1.2 calibration pass
-//! runs once per workload shape instead of once per cell.
+//! runs once per workload shape instead of once per cell. When
+//! `DUET_TRACE` is set, each cell additionally runs with a private
+//! trace handle and the sweep saves the merged per-layer counters as
+//! `results/<name>_trace.csv` (see [`crate::trace`]).
 
 use crate::pool;
+use crate::trace::{self, TraceAgg};
 use crate::{f2, BenchResult, Report, Sink};
-use experiments::{paper_scaled, run_experiment_cached, DeviceKind, ProfileCache, TaskKind};
+use experiments::{paper_scaled, run_experiment_cached_traced, DeviceKind, ProfileCache, TaskKind};
 use sim_core::SimResult;
 use workloads::{DistKind, Personality};
 
@@ -33,12 +37,43 @@ pub fn saved_cells(
     fragmentation: Option<(f64, u64)>,
     jobs: usize,
 ) -> SimResult<Vec<Vec<f64>>> {
+    Ok(saved_cells_traced(
+        scale,
+        device,
+        personality,
+        dist,
+        utils,
+        overlaps,
+        tasks,
+        fragmentation,
+        jobs,
+        false,
+    )?
+    .0)
+}
+
+/// [`saved_cells`] plus the merged trace counters of every cell (empty
+/// unless `traced`). The aggregate is folded in cell-index order, so it
+/// is byte-identical at any worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn saved_cells_traced(
+    scale: u64,
+    device: DeviceKind,
+    personality: Personality,
+    dist: DistKind,
+    utils: &[f64],
+    overlaps: &[f64],
+    tasks: &[TaskKind],
+    fragmentation: Option<(f64, u64)>,
+    jobs: usize,
+    traced: bool,
+) -> SimResult<(Vec<Vec<f64>>, TraceAgg)> {
     let cells: Vec<(f64, f64)> = utils
         .iter()
         .flat_map(|&u| overlaps.iter().map(move |&o| (u, o)))
         .collect();
     let profiles = ProfileCache::new();
-    let saved = pool::try_run_indexed(cells.len(), jobs, |i| {
+    let ran = pool::try_run_indexed(cells.len(), jobs, |i| {
         let (util, overlap) = cells[i];
         let mut cfg = paper_scaled(
             scale,
@@ -51,12 +86,23 @@ pub fn saved_cells(
         );
         cfg.device = device;
         cfg.fragmentation = fragmentation;
-        Ok(run_experiment_cached(&cfg, &profiles)?.io_saved())
+        let handle = trace::cell(traced);
+        let saved = run_experiment_cached_traced(&cfg, &profiles, handle.as_ref())?.io_saved();
+        Ok((saved, trace::harvest(handle)))
     })?;
-    Ok(saved
-        .chunks(overlaps.len().max(1))
-        .map(<[f64]>::to_vec)
-        .collect())
+    let mut agg = TraceAgg::new(traced);
+    let mut saved = Vec::with_capacity(ran.len());
+    for (v, counters) in ran {
+        saved.push(v);
+        agg.merge(counters);
+    }
+    Ok((
+        saved
+            .chunks(overlaps.len().max(1))
+            .map(<[f64]>::to_vec)
+            .collect(),
+        agg,
+    ))
 }
 
 /// Sweeps `utilization × overlap` and reports the I/O-saved fraction of
@@ -81,7 +127,7 @@ pub fn saved_sweep(
     let mut report = Report::new(name, &hdr_refs);
     report.print_header(sink);
     let utils = util_grid();
-    let grid = saved_cells(
+    let (grid, traces) = saved_cells_traced(
         scale,
         device,
         personality,
@@ -91,12 +137,14 @@ pub fn saved_sweep(
         tasks,
         fragmentation,
         pool::jobs(),
+        trace::enabled(),
     )?;
     for (util, saved) in utils.iter().zip(grid) {
         let mut row = vec![f2(*util)];
         row.extend(saved.iter().map(|&v| f2(v)));
         report.row(sink, &row);
     }
+    traces.save(name, sink)?;
     Ok(report)
 }
 
@@ -111,12 +159,26 @@ pub fn completed_cells(
     fragmentation: Option<(f64, u64)>,
     jobs: usize,
 ) -> SimResult<Vec<Vec<f64>>> {
+    Ok(completed_cells_traced(scale, personality, utils, tasks, fragmentation, jobs, false)?.0)
+}
+
+/// [`completed_cells`] plus the merged trace counters of every cell
+/// (empty unless `traced`).
+pub fn completed_cells_traced(
+    scale: u64,
+    personality: Personality,
+    utils: &[f64],
+    tasks: &[TaskKind],
+    fragmentation: Option<(f64, u64)>,
+    jobs: usize,
+    traced: bool,
+) -> SimResult<(Vec<Vec<f64>>, TraceAgg)> {
     let cells: Vec<(f64, bool)> = utils
         .iter()
         .flat_map(|&u| [false, true].into_iter().map(move |d| (u, d)))
         .collect();
     let profiles = ProfileCache::new();
-    let completed = pool::try_run_indexed(cells.len(), jobs, |i| {
+    let ran = pool::try_run_indexed(cells.len(), jobs, |i| {
         let (util, duet) = cells[i];
         let mut cfg = paper_scaled(
             scale,
@@ -128,9 +190,17 @@ pub fn completed_cells(
             duet,
         );
         cfg.fragmentation = fragmentation;
-        Ok(run_experiment_cached(&cfg, &profiles)?.work_completed())
+        let handle = trace::cell(traced);
+        let done = run_experiment_cached_traced(&cfg, &profiles, handle.as_ref())?.work_completed();
+        Ok((done, trace::harvest(handle)))
     })?;
-    Ok(completed.chunks(2).map(<[f64]>::to_vec).collect())
+    let mut agg = TraceAgg::new(traced);
+    let mut completed = Vec::with_capacity(ran.len());
+    for (v, counters) in ran {
+        completed.push(v);
+        agg.merge(counters);
+    }
+    Ok((completed.chunks(2).map(<[f64]>::to_vec).collect(), agg))
 }
 
 /// Sweeps utilization and reports the work-completed fraction for
@@ -149,18 +219,20 @@ pub fn completed_sweep(
     );
     report.print_header(sink);
     let utils = util_grid();
-    let grid = completed_cells(
+    let (grid, traces) = completed_cells_traced(
         scale,
         personality,
         &utils,
         tasks,
         fragmentation,
         pool::jobs(),
+        trace::enabled(),
     )?;
     for (util, done) in utils.iter().zip(grid) {
         let mut row = vec![f2(*util)];
         row.extend(done.iter().map(|&v| f2(v)));
         report.row(sink, &row);
     }
+    traces.save(name, sink)?;
     Ok(report)
 }

@@ -6,9 +6,10 @@
 //! `f64`s (compared via `to_bits`, not approximate equality) and in the
 //! formatted report rows that become the CSVs.
 
-use bench::f2;
-use bench::sweeps::{completed_cells, saved_cells};
-use experiments::{DeviceKind, TaskKind};
+use bench::sweeps::{completed_cells, saved_cells, saved_cells_traced};
+use bench::{f2, pool};
+use experiments::{paper_scaled, run_experiment_traced, DeviceKind, TaskKind};
+use sim_core::trace::TraceHandle;
 use workloads::{DistKind, Personality};
 
 /// Tiny scale: the paper setup shrunk 512× keeps each cell to a few
@@ -86,4 +87,71 @@ fn completed_sweep_is_byte_identical_at_any_width() {
     assert_eq!(bits(&sequential), bits(&parallel));
     assert_eq!(render(&sequential, &utils), render(&parallel, &utils));
     assert!(sequential.iter().flatten().any(|&v| v > 0.0));
+}
+
+/// The aggregated trace counters of a traced sweep must also be
+/// byte-identical at any worker count: each cell owns a private
+/// (non-`Send`) handle, and the merge folds in cell-index order.
+#[test]
+fn traced_sweep_counters_are_byte_identical_at_any_width() {
+    let utils = [0.2, 0.6];
+    let overlaps = [1.0];
+    let run = |jobs: usize| {
+        let (grid, agg) = saved_cells_traced(
+            SCALE,
+            DeviceKind::Hdd,
+            Personality::WebServer,
+            DistKind::Uniform,
+            &utils,
+            &overlaps,
+            &[TaskKind::Scrub],
+            None,
+            jobs,
+            true,
+        )
+        .expect("sweep");
+        let rows: Vec<(String, u64)> = agg.rows().map(|(k, n)| (k.to_string(), n)).collect();
+        (bits(&grid), rows)
+    };
+    let sequential = run(1);
+    let parallel = run(4);
+    assert_eq!(sequential, parallel, "trace aggregate differs by width");
+    if TraceHandle::compiled_in() {
+        assert!(
+            !sequential.1.is_empty(),
+            "a traced sweep must produce counters"
+        );
+    }
+}
+
+/// The per-cell JSONL traces of a pinned scenario grid, collected in
+/// cell order, are byte-identical across `jobs = 1` and `jobs = 4` —
+/// the `DUET_JOBS` guarantee extended to the event stream itself.
+#[test]
+fn traced_cell_jsonl_is_byte_identical_at_any_width() {
+    let cells = [0.2, 0.6];
+    let run = |jobs: usize| -> Vec<String> {
+        pool::try_run_indexed(cells.len(), jobs, |i| {
+            let mut cfg = paper_scaled(
+                SCALE,
+                Personality::WebServer,
+                DistKind::Uniform,
+                1.0,
+                cells[i],
+                vec![TaskKind::Scrub],
+                true,
+            );
+            cfg.seed = 7;
+            let t = TraceHandle::with_default_capacity();
+            run_experiment_traced(&cfg, Some(&t))?;
+            sim_core::SimResult::Ok(t.dump_jsonl())
+        })
+        .expect("sweep")
+    };
+    let sequential = run(1);
+    let parallel = run(4);
+    assert_eq!(sequential, parallel, "JSONL traces differ by width");
+    if TraceHandle::compiled_in() {
+        assert!(sequential.iter().all(|j| !j.is_empty()));
+    }
 }

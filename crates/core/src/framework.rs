@@ -7,6 +7,7 @@ use crate::fs_view::FsIntrospect;
 use crate::session::{Item, ItemId, Session, SessionId, TaskScope};
 use sim_cache::{PageEvent, PageKey, PageMeta};
 use sim_core::fault::{FaultHandle, FaultSite};
+use sim_core::trace::{TraceHandle, TraceLayer};
 use sim_core::{InodeNr, SimError, SimResult, PAGE_SIZE};
 use std::collections::BTreeMap;
 
@@ -59,6 +60,11 @@ pub struct Duet {
     /// Fault-injection handle; `None` (or a quiet plan) behaves
     /// byte-identically to an unfaulted framework.
     faults: Option<FaultHandle>,
+    /// Trace handle. The framework has no clock of its own, so its
+    /// hooks are counter ticks: `duet.register` / `duet.deregister` /
+    /// `duet.churn` / `duet.event` / `duet.merge` / `duet.fetch` /
+    /// `duet.hint`.
+    trace: Option<TraceHandle>,
 }
 
 impl Duet {
@@ -72,6 +78,7 @@ impl Duet {
             ndesc: 0,
             stats: DuetStats::default(),
             faults: None,
+            trace: None,
         }
     }
 
@@ -80,6 +87,12 @@ impl Duet {
     /// [`Duet::get_path`], and session churn on page events.
     pub fn set_faults(&mut self, faults: Option<FaultHandle>) {
         self.faults = faults;
+    }
+
+    /// Arms (or disarms, with `None`) tracing. Pure observation:
+    /// sessions, descriptors and statistics are unaffected.
+    pub fn set_trace(&mut self, trace: Option<TraceHandle>) {
+        self.trace = trace;
     }
 
     /// Creates a framework with default configuration.
@@ -173,6 +186,9 @@ impl Duet {
             .ok_or(SimError::TooManySessions)?;
         let sid = SessionId(slot as u32);
         self.sessions[slot] = Some(Session::new(scope, mask));
+        if let Some(trace) = &self.trace {
+            trace.tick(TraceLayer::Duet, "register");
+        }
         // Registration scan: initialize a descriptor for each relevant
         // cached page, flagged present (and possibly dirty).
         for meta in fs.cached_pages() {
@@ -216,6 +232,9 @@ impl Duet {
         let slot = sid.0 as usize;
         self.session_ref(sid)?;
         self.sessions[slot] = None;
+        if let Some(trace) = &self.trace {
+            trace.tick(TraceLayer::Duet, "deregister");
+        }
         // Strip the session's flags from every descriptor; free those
         // left with nothing pending.
         let masks = self.masks();
@@ -250,6 +269,9 @@ impl Duet {
         self.deregister(sid)?;
         let slot = sid.0 as usize;
         self.sessions[slot] = Some(Session::new(scope, mask));
+        if let Some(trace) = &self.trace {
+            trace.tick(TraceLayer::Duet, "churn");
+        }
         for meta in fs.cached_pages() {
             self.scan_page(slot, meta, fs);
         }
@@ -385,6 +407,9 @@ impl Duet {
     pub fn handle_page_event(&mut self, meta: PageMeta, ev: PageEvent, fs: &dyn FsIntrospect) {
         self.maybe_churn(fs);
         self.stats.events_processed += 1;
+        if let Some(trace) = &self.trace {
+            trace.tick(TraceLayer::Duet, "event");
+        }
         let ((pre_e, pre_m), (post_e, post_m)) = transition(ev, meta.dirty);
         let interest = Self::interest_of(ev);
         // Pass 1: which sessions want this event?
@@ -419,6 +444,13 @@ impl Duet {
         }
         let masks = self.masks();
         let mut newly_pending: Vec<usize> = Vec::new();
+        if exists_already {
+            // The event folds into an existing descriptor: the state
+            // merge of §4.2 (one descriptor accumulates many events).
+            if let Some(trace) = &self.trace {
+                trace.tick(TraceLayer::Duet, "merge");
+            }
+        }
         {
             let d = self.descriptor_entry(key, post_e, post_m, meta.block);
             if exists_already {
@@ -593,6 +625,10 @@ impl Duet {
             self.gc_descriptor(key);
         }
         self.stats.items_fetched += out.len() as u64;
+        if let Some(trace) = &self.trace {
+            trace.tick(TraceLayer::Duet, "fetch");
+            trace.tick_n(TraceLayer::Duet, "hint", out.len() as u64);
+        }
         Ok(out)
     }
 

@@ -84,8 +84,13 @@ impl ResidencyTracker {
                     let prio = match self.policy {
                         Priority::ResidentPages => count,
                         Priority::ResidentFraction => {
+                            // Round-half-up permille; the count clamps
+                            // to the file size so a fully-resident file
+                            // reads exactly 1000‰, never 999‰.
                             let size = size_pages(ino);
-                            (count.min(size) * 1000).checked_div(size).unwrap_or(0)
+                            (count.min(size) * 1000 + size / 2)
+                                .checked_div(size)
+                                .unwrap_or(0)
                         }
                         Priority::TouchedOnly => unreachable!(),
                     };
@@ -204,6 +209,40 @@ mod tests {
         ];
         t.update_with_sizes(&items, |_| true, |ino| if ino.raw() == 1 { 16 } else { 1 });
         assert_eq!(t.pop_best(), Some(InodeNr(2)), "100% beats 12.5%");
+    }
+
+    #[test]
+    fn fraction_rounds_half_up_and_clamps_at_1000_permille() {
+        // 1 of 3 pages resident: 333.3…‰ rounds to 333; 2 of 3: 666.6…‰
+        // rounds up to 667 (truncation would give 666).
+        let mut t = ResidencyTracker::new(Priority::ResidentFraction);
+        t.update_with_sizes(&[item(1, 0, ItemFlags::EXISTS)], |_| true, |_| 3);
+        t.update_with_sizes(
+            &[
+                item(2, 0, ItemFlags::EXISTS),
+                item(2, 4096, ItemFlags::EXISTS),
+            ],
+            |_| true,
+            |_| 3,
+        );
+        assert_eq!(t.last_prio.get(&InodeNr(1)), Some(&333));
+        assert_eq!(t.last_prio.get(&InodeNr(2)), Some(&667));
+
+        // A fully-processed file must read exactly 1000‰ even for sizes
+        // that don't divide 1000 — and over-counted residency (stale
+        // notifications after a truncate) clamps instead of exceeding it.
+        for size in [1u64, 3, 7, 16, 999] {
+            let mut t = ResidencyTracker::new(Priority::ResidentFraction);
+            let items: Vec<Item> = (0..size + 2) // two stale extras
+                .map(|i| item(9, i * 4096, ItemFlags::EXISTS))
+                .collect();
+            t.update_with_sizes(&items, |_| true, |_| size);
+            assert_eq!(
+                t.last_prio.get(&InodeNr(9)),
+                Some(&1000),
+                "size {size}: full residency must be exactly 1000‰"
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::task::{BtrfsCtx, BtrfsTask, StepResult, TaskMetrics, TaskMode};
 use duet::{EventMask, ItemFlags, ItemId, SessionId, TaskScope};
 use sim_btrfs::SnapshotId;
 use sim_cache::PageKey;
+use sim_core::trace::TraceLayer;
 use sim_core::{InodeNr, SimError, SimResult, SparseBitmap, PAGE_SIZE};
 use sim_disk::IoClass;
 
@@ -21,8 +22,10 @@ use sim_disk::IoClass;
 /// the backup moves ~1/4 as much data as the scrubber's sequential
 /// 1 MiB chunk — random I/O then makes it roughly half as fast overall,
 /// matching §6.2 ("the backup requires almost twice the amount of time
-/// needed for scrubbing").
-const CHUNK_PAGES: u64 = 256;
+/// needed for scrubbing"). Was 256 (a full 1 MiB per dispatch), which
+/// let the backup finish only ~1.2× behind the scrubber and pushed the
+/// Fig. 3 plateau too early; 64 restores the intended pacing.
+const CHUNK_PAGES: u64 = 64;
 const FETCH_BATCH: usize = 256;
 
 /// The snapshot-backup task.
@@ -44,6 +47,9 @@ pub struct Backup {
     own_written: u64,
     /// Bytes shipped to backup storage.
     pub sent_bytes: u64,
+    /// Test-only defect switch: silently drop a deterministic subset of
+    /// blocks from the backup stream (oracle self-test).
+    skip_ship: bool,
     started: bool,
 }
 
@@ -66,8 +72,17 @@ impl Backup {
             own_read: 0,
             own_written: 0,
             sent_bytes: 0,
+            skip_ship: false,
             started: false,
         }
+    }
+
+    /// Sabotage switch for oracle self-tests: every seventh block is
+    /// silently omitted from the backup stream — no error, the run
+    /// still reports completion.
+    #[doc(hidden)]
+    pub fn sabotage_skip_ship(&mut self) {
+        self.skip_ship = true;
     }
 
     /// The snapshot this backup is reading from.
@@ -129,10 +144,18 @@ impl Backup {
                     Some(meta) if !meta.dirty => {}
                     _ => continue,
                 }
+                if self.skip_ship && block.raw() % 7 == 0 {
+                    continue;
+                }
                 // Copy from memory: zero maintenance reads.
                 self.backed.set(block.raw());
                 self.ship(1);
                 self.opportunistic += 1;
+                if let Some(t) = ctx.fs.trace() {
+                    t.event(TraceLayer::Task, "backup.ship", ctx.now, || {
+                        vec![("block", block.raw().into()), ("src", "hint".into())]
+                    });
+                }
                 ctx.duet.set_done(sid, ItemId::Block(block))?;
             }
         }
@@ -181,6 +204,10 @@ impl BtrfsTask for Backup {
                 "backup stepped before start".into(),
             ));
         };
+        let span = ctx
+            .fs
+            .trace()
+            .map(|t| t.ctx_begin(TraceLayer::Task, "backup.step", ctx.now, Vec::new));
         let mut finish = ctx.now;
         let mut processed = 0u64;
         while processed < CHUNK_PAGES {
@@ -209,6 +236,12 @@ impl BtrfsTask for Backup {
                 processed += 1;
                 continue; // Already backed up opportunistically.
             }
+            if self.skip_ship && sb.raw() % 7 == 0 {
+                // Sabotage mode: the block is silently dropped from the
+                // stream but still counted as handled.
+                processed += 1;
+                continue;
+            }
             // Read the data: through the live page cache while the
             // block is still shared with the live file; raw otherwise
             // (the live copy diverged after the snapshot).
@@ -224,10 +257,18 @@ impl BtrfsTask for Backup {
             finish = finish.max(stats.finish);
             self.backed.set(sb.raw());
             self.ship(1);
+            if let Some(t) = ctx.fs.trace() {
+                t.event(TraceLayer::Task, "backup.ship", ctx.now, || {
+                    vec![("block", sb.raw().into()), ("src", "scan".into())]
+                });
+            }
             if let Some(sid) = self.sid {
                 ctx.duet.set_done(sid, ItemId::Block(sb))?;
             }
             processed += 1;
+        }
+        if let (Some(t), Some(id)) = (ctx.fs.trace(), span) {
+            t.ctx_end(id, finish);
         }
         let complete = self.file_idx >= self.files.len();
         Ok(StepResult { finish, complete })

@@ -12,6 +12,7 @@
 
 use crate::task::{BtrfsCtx, BtrfsTask, StepResult, TaskMetrics, TaskMode};
 use duet::{EventMask, ItemId, Priority, ResidencyTracker, SessionId, TaskScope};
+use sim_core::trace::TraceLayer;
 use sim_core::{InodeNr, SimError, SimResult};
 use sim_disk::IoClass;
 use std::collections::BTreeSet;
@@ -46,6 +47,9 @@ pub struct Defrag {
     /// prioritization by resident fraction is impossible (§3.3's
     /// comparison with Inotify). For the granularity ablation.
     file_granularity: bool,
+    /// Test-only defect switch: silently skip rewriting a deterministic
+    /// subset of files (oracle self-test).
+    skip_some: bool,
     started: bool,
 }
 
@@ -69,8 +73,17 @@ impl Defrag {
             files_skipped: 0,
             threshold: 1,
             file_granularity: false,
+            skip_some: false,
             started: false,
         }
+    }
+
+    /// Sabotage switch for oracle self-tests: even-numbered inodes are
+    /// silently left fragmented while their planned work is credited —
+    /// the run completes without any error.
+    #[doc(hidden)]
+    pub fn sabotage_skip_files(&mut self) {
+        self.skip_some = true;
     }
 
     /// Degrades hints to file granularity (see the `file_granularity`
@@ -117,11 +130,13 @@ impl Defrag {
         }
     }
 
-    /// Processes one file; returns the step finish time.
+    /// Processes one file; returns the step finish time. `src` is the
+    /// work item's provenance ("hint" or "scan") for the trace.
     fn process_file(
         &mut self,
         ctx: &mut BtrfsCtx<'_>,
         ino: InodeNr,
+        src: &'static str,
     ) -> SimResult<sim_core::SimInstant> {
         let mut finish = ctx.now;
         // Deleted or workload-defragmented files need no work; their
@@ -134,6 +149,13 @@ impl Defrag {
                 return Ok(finish);
             }
         };
+        if self.skip_some && ino.raw().is_multiple_of(2) {
+            // Sabotage mode: the file stays fragmented but its planned
+            // work is credited as complete.
+            self.files_skipped += 1;
+            self.done_io += planned_io;
+            return Ok(finish);
+        }
         if ctx.fs.file_extent_count(ino)? <= self.threshold {
             self.files_skipped += 1;
             self.done_io += planned_io;
@@ -148,6 +170,11 @@ impl Defrag {
         self.saved += r.cached_pages + r.already_dirty;
         self.done_io += planned_io;
         self.files_defragged += 1;
+        if let Some(t) = ctx.fs.trace() {
+            t.event(TraceLayer::Task, "defrag.reloc", ctx.now, || {
+                vec![("ino", ino.raw().into()), ("src", src.into())]
+            });
+        }
         Ok(finish)
     }
 
@@ -217,14 +244,24 @@ impl BtrfsTask for Defrag {
     fn step(&mut self, mut ctx: BtrfsCtx<'_>) -> SimResult<StepResult> {
         assert!(self.started, "step before start");
         self.update_queue(&mut ctx)?;
+        let span = ctx
+            .fs
+            .trace()
+            .map(|t| t.ctx_begin(TraceLayer::Task, "defrag.step", ctx.now, Vec::new));
+        let end_span = |ctx: &BtrfsCtx<'_>, at| {
+            if let (Some(t), Some(id)) = (ctx.fs.trace(), span) {
+                t.ctx_end(id, at);
+            }
+        };
         // Opportunistic: highest resident-fraction file first.
         while let Some(ino) = self.tracker.pop_best() {
             if self.is_done(&ctx, ino) {
                 continue;
             }
-            let finish = self.process_file(&mut ctx, ino)?;
+            let finish = self.process_file(&mut ctx, ino, "hint")?;
             self.mark_done(&mut ctx, ino)?;
             let complete = self.remaining_plan(&ctx) == 0;
+            end_span(&ctx, finish);
             return Ok(StepResult { finish, complete });
         }
         // Normal order: next planned file not yet processed.
@@ -233,11 +270,13 @@ impl BtrfsTask for Defrag {
             if self.is_done(&ctx, ino) {
                 continue;
             }
-            let finish = self.process_file(&mut ctx, ino)?;
+            let finish = self.process_file(&mut ctx, ino, "scan")?;
             self.mark_done(&mut ctx, ino)?;
             let complete = self.remaining_plan(&ctx) == 0;
+            end_span(&ctx, finish);
             return Ok(StepResult { finish, complete });
         }
+        end_span(&ctx, ctx.now);
         Ok(StepResult {
             finish: ctx.now,
             complete: true,

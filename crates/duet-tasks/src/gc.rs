@@ -13,6 +13,7 @@
 
 use crate::task::{StepResult, TaskMode};
 use duet::{Duet, EventMask, ItemFlags, SessionId, TaskScope};
+use sim_core::trace::TraceLayer;
 use sim_core::{SegmentNr, SimError, SimInstant, SimResult};
 use sim_disk::IoClass;
 use sim_f2fs::{cleaning_cost, CleanResult, F2fsSim, SegState, VictimPolicy};
@@ -43,6 +44,9 @@ pub struct GarbageCollector {
     cached: BTreeMap<u32, i64>,
     /// Cleaning outcomes, in order (Table 6's raw data).
     pub results: Vec<CleanResult>,
+    /// Test-only defect switch: lose one block per cleaning (oracle
+    /// self-test).
+    sabotage: bool,
     started: bool,
 }
 
@@ -58,8 +62,17 @@ impl GarbageCollector {
             cursor: 0,
             cached: BTreeMap::new(),
             results: Vec::new(),
+            sabotage: false,
             started: false,
         }
+    }
+
+    /// Sabotage switch for oracle self-tests: each cleaning silently
+    /// loses its first migrated block — the victim page ends up
+    /// unmapped, with no error reported.
+    #[doc(hidden)]
+    pub fn sabotage_lose_block(&mut self) {
+        self.sabotage = true;
     }
 
     /// Overrides the victim-selection window (for scaled-down tests).
@@ -185,9 +198,41 @@ impl GarbageCollector {
         let Some((_, victim)) = best else {
             return Ok(None);
         };
+        // Work-item context span: the victim clean (and its disk I/O)
+        // is parented here, with the hint-vs-scan provenance of the
+        // victim choice.
+        let cached_hint = match self.mode {
+            TaskMode::Duet => self.cached_estimate(SegmentNr(victim)),
+            TaskMode::Baseline => 0,
+        };
+        let span = ctx.fs.trace().map(|t| {
+            t.ctx_begin(TraceLayer::Task, "gc.clean", ctx.now, || {
+                vec![
+                    ("seg", victim.into()),
+                    ("cached", cached_hint.into()),
+                    ("src", if cached_hint > 0 { "hint" } else { "scan" }.into()),
+                ]
+            })
+        });
+        let first_victim = if self.sabotage {
+            ctx.fs
+                .valid_blocks_of(SegmentNr(victim))
+                .first()
+                .map(|&(_, ino, idx)| (ino, idx))
+        } else {
+            None
+        };
         let result = ctx
             .fs
             .clean_segment(SegmentNr(victim), self.class, ctx.now)?;
+        if let Some((ino, idx)) = first_victim {
+            // Sabotage mode: the migrated copy of the first victim
+            // block is silently dropped.
+            ctx.fs.sabotage_drop_mapping(ino, idx)?;
+        }
+        if let (Some(t), Some(id)) = (ctx.fs.trace(), span) {
+            t.ctx_end(id, result.finish);
+        }
         // Cleaning dirtied every valid page; the flush events will move
         // the counters to the new segments as they drain.
         self.results.push(result);

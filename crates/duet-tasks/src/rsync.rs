@@ -18,6 +18,7 @@
 use crate::task::{StepResult, TaskMetrics, TaskMode};
 use duet::{Duet, EventMask, ItemId, Priority, ResidencyTracker, SessionId, TaskScope};
 use sim_btrfs::BtrfsSim;
+use sim_core::trace::TraceLayer;
 use sim_core::{InodeNr, SimError, SimInstant, SimResult, PAGE_SIZE};
 use sim_disk::IoClass;
 use std::collections::{BTreeMap, BTreeSet};
@@ -44,6 +45,9 @@ struct ActiveFile {
     dst_ino: InodeNr,
     next_page: u64,
     total_pages: u64,
+    /// How this file was picked: "hint" (priority queue) or "scan"
+    /// (depth-first plan order).
+    src: &'static str,
 }
 
 /// The rsync transfer task.
@@ -70,6 +74,9 @@ pub struct Rsync {
     src_read: u64,
     dst_written: u64,
     read_saved: u64,
+    /// Test-only defect switch: silently skip sending a deterministic
+    /// subset of files (oracle self-test).
+    skip_some: bool,
     started: bool,
 }
 
@@ -93,8 +100,17 @@ impl Rsync {
             src_read: 0,
             dst_written: 0,
             read_saved: 0,
+            skip_some: false,
             started: false,
         }
+    }
+
+    /// Sabotage switch for oracle self-tests: even-numbered inodes are
+    /// silently marked transferred without being copied — the run still
+    /// completes without any error.
+    #[doc(hidden)]
+    pub fn sabotage_skip_files(&mut self) {
+        self.skip_some = true;
     }
 
     /// Display name.
@@ -189,7 +205,12 @@ impl Rsync {
 
     /// Opens the destination file for a source file, sending metadata
     /// once.
-    fn activate(&mut self, ctx: &mut RsyncCtx<'_>, ino: InodeNr) -> SimResult<()> {
+    fn activate(
+        &mut self,
+        ctx: &mut RsyncCtx<'_>,
+        ino: InodeNr,
+        src: &'static str,
+    ) -> SimResult<()> {
         let rel = self.rel_path(ctx.src, ino)?;
         let total_pages = ctx.src.inodes().get(ino)?.size_pages();
         // Reconcile the plan with the file's current size.
@@ -203,6 +224,7 @@ impl Rsync {
             dst_ino,
             next_page: 0,
             total_pages,
+            src,
         });
         Ok(())
     }
@@ -215,6 +237,11 @@ impl Rsync {
         let mut failure = None;
         while let Some(ino) = self.tracker.pop_best() {
             if self.is_done(ctx, ino) || self.transferred(ino) || !ctx.src.inodes().exists(ino) {
+                continue;
+            }
+            if self.skip_some && ino.raw().is_multiple_of(2) {
+                // Sabotage mode: pretend the file was sent.
+                self.meta_sent.insert(ino);
                 continue;
             }
             if let Some(sid) = self.sid {
@@ -252,7 +279,7 @@ impl Rsync {
             return Err(e);
         }
         if let Some(ino) = picked {
-            self.activate(ctx, ino)?;
+            self.activate(ctx, ino, "hint")?;
             return Ok(true);
         }
         // Normal depth-first order. Files deleted since the traversal
@@ -269,7 +296,12 @@ impl Rsync {
             if self.is_done(ctx, ino) || self.transferred(ino) {
                 continue;
             }
-            self.activate(ctx, ino)?;
+            if self.skip_some && ino.raw().is_multiple_of(2) {
+                // Sabotage mode: pretend the file was sent.
+                self.meta_sent.insert(ino);
+                continue;
+            }
+            self.activate(ctx, ino, "scan")?;
             return Ok(true);
         }
         Ok(false)
@@ -292,7 +324,7 @@ impl Rsync {
             });
         }
         let mut finish = ctx.now;
-        let (ino, dst_ino, page, pages_now, file_done) = {
+        let (ino, dst_ino, page, pages_now, file_done, item_src) = {
             let Some(a) = self.active.as_mut() else {
                 // pick_next found nothing activatable after all.
                 return Ok(StepResult {
@@ -309,8 +341,13 @@ impl Rsync {
                 page,
                 pages_now,
                 a.next_page >= a.total_pages,
+                a.src,
             )
         };
+        let span = ctx
+            .src
+            .trace()
+            .map(|t| t.ctx_begin(TraceLayer::Task, "rsync.step", ctx.now, Vec::new));
         if pages_now > 0 {
             // Sender: read the chunk at the source.
             let r = ctx.src.read(
@@ -345,6 +382,14 @@ impl Rsync {
             }
             self.tracker.forget(ino);
             self.active = None;
+            if let Some(t) = ctx.src.trace() {
+                t.event(TraceLayer::Task, "rsync.send", ctx.now, || {
+                    vec![("ino", ino.raw().into()), ("src", item_src.into())]
+                });
+            }
+        }
+        if let (Some(t), Some(id)) = (ctx.src.trace(), span) {
+            t.ctx_end(id, finish);
         }
         let complete = self.active.is_none() && self.remaining(&ctx) == 0;
         Ok(StepResult { finish, complete })

@@ -16,6 +16,7 @@
 use crate::task::{BtrfsCtx, BtrfsTask, StepResult, TaskMetrics, TaskMode};
 use duet::{EventMask, ItemFlags, SessionId, TaskScope};
 use sim_btrfs::Run;
+use sim_core::trace::TraceLayer;
 use sim_core::{BlockNr, SimError, SimResult, SparseBitmap, PAGE_SIZE};
 use sim_disk::IoClass;
 
@@ -156,15 +157,24 @@ impl Scrubber {
                     // New data, new checksum: re-verify unless the scan
                     // already passed (matching the baseline's single-
                     // pass guarantee, §6.2).
-                    if !self.passed(block)
-                        && self.verified.clear(block.raw())
-                        && self.opportunistic > 0
-                    {
-                        self.opportunistic -= 1;
+                    if !self.passed(block) && self.verified.clear(block.raw()) {
+                        if self.opportunistic > 0 {
+                            self.opportunistic -= 1;
+                        }
+                        if let Some(t) = ctx.fs.trace() {
+                            t.event(TraceLayer::Task, "scrub.unverify", ctx.now, || {
+                                vec![("block", block.raw().into()), ("src", "hint".into())]
+                            });
+                        }
                     }
                 } else if item.flags.contains(ItemFlags::ADDED) && self.verified.set(block.raw()) {
                     // Verified by the read path: scrubbed for free.
                     self.opportunistic += 1;
+                    if let Some(t) = ctx.fs.trace() {
+                        t.event(TraceLayer::Task, "scrub.verify", ctx.now, || {
+                            vec![("block", block.raw().into()), ("src", "hint".into())]
+                        });
+                    }
                 }
             }
         }
@@ -204,6 +214,12 @@ impl BtrfsTask for Scrubber {
     fn step(&mut self, mut ctx: BtrfsCtx<'_>) -> SimResult<StepResult> {
         assert!(self.started, "step before start");
         self.drain_events(&mut ctx)?;
+        // Work-item context span: every record emitted below (disk I/O,
+        // checksum checks, effect events) is parented to this step.
+        let span = ctx
+            .fs
+            .trace()
+            .map(|t| t.ctx_begin(TraceLayer::Task, "scrub.step", ctx.now, Vec::new));
         let mut finish = ctx.now;
         let mut examined = 0u64;
         // Collect the blocks in this chunk that still need verification.
@@ -282,6 +298,14 @@ impl BtrfsTask for Scrubber {
         // Mark the chunk verified.
         for b in to_scrub {
             self.verified.set(b.raw());
+            if let Some(t) = ctx.fs.trace() {
+                t.event(TraceLayer::Task, "scrub.verify", ctx.now, || {
+                    vec![("block", b.raw().into()), ("src", "scan".into())]
+                });
+            }
+        }
+        if let (Some(t), Some(id)) = (ctx.fs.trace(), span) {
+            t.ctx_end(id, finish);
         }
         let complete = self.frontier().is_none();
         Ok(StepResult { finish, complete })

@@ -27,14 +27,21 @@ pub mod runner;
 pub use config::{DeviceKind, ExperimentConfig, TaskKind};
 pub use metrics::{max_utilization, speedup, ExperimentResult, TaskOutcome};
 pub use oracle::{
-    check_pair, check_pair_with, exercise_error_vocabulary, OracleReport, OracleTask,
+    check_pair, check_pair_with, exercise_error_vocabulary, localize_pair, Divergence,
+    OracleReport, OracleTask,
 };
 pub use presets::paper_scaled;
-pub use profile::{profile_unthrottled, run_experiment_cached, ProfileCache, ProfileKey};
+pub use profile::{
+    profile_unthrottled, run_experiment_cached, run_experiment_cached_traced, ProfileCache,
+    ProfileKey,
+};
 pub use runner::{
     run_experiment,
+    run_experiment_traced,
     run_gc_experiment,
+    run_gc_experiment_traced,
     run_rsync_experiment,
+    run_rsync_experiment_traced,
     GcExperimentConfig,
     GcResult,
     RsyncResult, //

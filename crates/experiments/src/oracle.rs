@@ -30,10 +30,11 @@ use duet_tasks::{
 };
 use sim_btrfs::BtrfsSim;
 use sim_core::fault::{replay_line, FaultHandle, FaultPlan, FaultSite};
+use sim_core::trace::{TraceEvent, TraceHandle, TraceLayer};
 use sim_core::{BlockNr, DeviceId, InodeNr, SimError, SimInstant, SimRng, PAGE_SIZE};
 use sim_disk::{Disk, HddModel, IoClass, IoKind, IoRequest, RetryPolicy};
 use sim_f2fs::{F2fsSim, VictimPolicy};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 const T0: SimInstant = SimInstant::EPOCH;
 /// Workload operations interleaved with each run.
@@ -109,8 +110,10 @@ pub fn check_pair(task: OracleTask, seed: u64, plan: &FaultPlan) -> Result<Oracl
 }
 
 /// [`check_pair`] with an optional deliberate defect injected into the
-/// Duet run (the scrubber skips repairs). Used to prove the oracle
-/// actually discriminates: a sabotaged pair must come back `Err`.
+/// Duet run — every task has a silent-failure switch (skipped repairs,
+/// dropped backup blocks, un-rewritten files, unsent files, a lost GC
+/// migration). Used to prove the oracle actually discriminates: a
+/// sabotaged pair must come back `Err`.
 pub fn check_pair_with(
     task: OracleTask,
     seed: u64,
@@ -124,10 +127,10 @@ pub fn check_pair_with(
             replay_line(seed, plan)
         )
     };
-    let (duet, duet_fired) =
-        run_digest(task, TaskMode::Duet, seed, plan, sabotage_duet).map_err(|e| fail("duet", e))?;
-    let (base, base_fired) =
-        run_digest(task, TaskMode::Baseline, seed, plan, false).map_err(|e| fail("baseline", e))?;
+    let (duet, duet_fired) = run_digest(task, TaskMode::Duet, seed, plan, sabotage_duet, None)
+        .map_err(|e| fail("duet", e))?;
+    let (base, base_fired) = run_digest(task, TaskMode::Baseline, seed, plan, false, None)
+        .map_err(|e| fail("baseline", e))?;
     if duet != base {
         return Err(fail(
             "compare",
@@ -139,6 +142,252 @@ pub fn check_pair_with(
         digest: duet,
         faults_fired: duet_fired + base_fired,
     })
+}
+
+// ----- first-divergence localizer -------------------------------------
+
+/// Ring capacity for localizer runs: big enough that no oracle
+/// scenario rotates its earliest effect events out of the buffer.
+const LOCALIZE_TRACE_CAPACITY: usize = 1 << 20;
+
+/// The earliest point where the Duet run's observable effects differ
+/// from the baseline's, with the causal context that produced it.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The task under check.
+    pub task: OracleTask,
+    /// Effect kind that diverged (e.g. `"scrub.verify"`), or
+    /// `"digest"` when only the digest comparison caught it (tracing
+    /// compiled out, or a divergence outside the effect vocabulary).
+    pub kind: String,
+    /// Diverging entity: a block number for scrub/backup, an inode
+    /// number for defrag/rsync/GC, 0 for a digest-only divergence.
+    pub entity: u64,
+    /// Final effect payload on the Duet side (`None`: effect absent).
+    pub duet: Option<String>,
+    /// Final effect payload on the baseline side (`None`: absent).
+    pub baseline: Option<String>,
+    /// Originating site of the differing event, `layer/kind`.
+    pub site: String,
+    /// Causal span chain of that event, innermost first (the task
+    /// work item it happened under, then its enclosing spans).
+    pub chain: Vec<String>,
+}
+
+impl Divergence {
+    /// One-line rendering for logs and CI output.
+    pub fn render(&self) -> String {
+        let fmt_side = |s: &Option<String>| s.clone().unwrap_or_else(|| "<absent>".into());
+        let chain = if self.chain.is_empty() {
+            "<none>".to_string()
+        } else {
+            self.chain.join(" <- ")
+        };
+        format!(
+            "first divergence[{}]: {} entity={} duet={} baseline={} site={} chain={}",
+            self.task.name(),
+            self.kind,
+            self.entity,
+            fmt_side(&self.duet),
+            fmt_side(&self.baseline),
+            self.site,
+            chain,
+        )
+    }
+}
+
+/// Runs `task` twice like [`check_pair_with`], but with the trace plane
+/// armed, and localizes the earliest divergent effect instead of just
+/// comparing digests. Returns `Ok(None)` when the runs are equivalent.
+///
+/// Each side's event stream is projected onto the task's effect
+/// vocabulary (per-entity final effects: blocks verified, blocks
+/// shipped, files rewritten, files sent, final GC file state); the
+/// streams are then replayed in lockstep over the ordered entity space
+/// and the first differing entity is reported together with the causal
+/// span chain of the event that produced (or should have produced) it.
+/// With the `trace` feature compiled out both projections are empty and
+/// the check degrades to the digest comparison (`kind == "digest"`).
+pub fn localize_pair(
+    task: OracleTask,
+    seed: u64,
+    plan: &FaultPlan,
+    sabotage_duet: bool,
+) -> Result<Option<Divergence>, String> {
+    let fail = |phase: &str, msg: String| {
+        format!(
+            "oracle[{}/{phase}]: {msg}\n  {}",
+            task.name(),
+            replay_line(seed, plan)
+        )
+    };
+    let duet_trace = TraceHandle::new(LOCALIZE_TRACE_CAPACITY);
+    let base_trace = TraceHandle::new(LOCALIZE_TRACE_CAPACITY);
+    let (duet_digest, _) = run_digest(
+        task,
+        TaskMode::Duet,
+        seed,
+        plan,
+        sabotage_duet,
+        Some(&duet_trace),
+    )
+    .map_err(|e| fail("duet", e))?;
+    let (base_digest, _) = run_digest(
+        task,
+        TaskMode::Baseline,
+        seed,
+        plan,
+        false,
+        Some(&base_trace),
+    )
+    .map_err(|e| fail("baseline", e))?;
+    let duet_events = duet_trace.events();
+    let base_events = base_trace.events();
+    let duet_proj = project_effects(task, &duet_events);
+    let base_proj = project_effects(task, &base_events);
+    // Lockstep replay over the ordered union of effect keys: the first
+    // key where the two sides disagree is the divergence.
+    let keys: BTreeSet<&(&'static str, u64)> = duet_proj.keys().chain(base_proj.keys()).collect();
+    for &&(kind, entity) in &keys {
+        let d = duet_proj.get(&(kind, entity));
+        let b = base_proj.get(&(kind, entity));
+        if d == b {
+            continue;
+        }
+        // The side that *has* the event carries the causal context; a
+        // missing event on the other side is the defect.
+        let field = entity_field(kind);
+        let ev = last_effect(&base_events, kind, field, entity)
+            .or_else(|| last_effect(&duet_events, kind, field, entity));
+        let (site, chain) = match ev {
+            Some((events, e)) => (format!("{}/{}", e.layer, e.kind), span_chain(events, e)),
+            None => (format!("task/{kind}"), Vec::new()),
+        };
+        return Ok(Some(Divergence {
+            task,
+            kind: kind.to_string(),
+            entity,
+            duet: d.cloned(),
+            baseline: b.cloned(),
+            site,
+            chain,
+        }));
+    }
+    if duet_digest != base_digest {
+        // Outside the effect vocabulary (or tracing compiled out):
+        // still report the divergence, just without localization.
+        return Ok(Some(Divergence {
+            task,
+            kind: "digest".into(),
+            entity: 0,
+            duet: Some(duet_digest),
+            baseline: Some(base_digest),
+            site: "oracle/digest".into(),
+            chain: Vec::new(),
+        }));
+    }
+    Ok(None)
+}
+
+/// The entity field name of an effect kind.
+fn entity_field(kind: &str) -> &'static str {
+    match kind {
+        "scrub.verify" | "backup.ship" => "block",
+        _ => "ino",
+    }
+}
+
+/// Projects a run's event stream onto the task's per-entity effect
+/// vocabulary. The result maps `(effect kind, entity)` to the entity's
+/// final effect payload.
+fn project_effects(
+    task: OracleTask,
+    events: &[TraceEvent],
+) -> BTreeMap<(&'static str, u64), String> {
+    let mut m = BTreeMap::new();
+    for ev in events {
+        if ev.layer != TraceLayer::Task {
+            continue;
+        }
+        match (task, ev.kind) {
+            (OracleTask::Scrub, "scrub.verify") => {
+                if let Some(b) = ev.field_u64("block") {
+                    m.insert(("scrub.verify", b), "verified".to_string());
+                }
+            }
+            // A dirtied block's earlier verification is withdrawn: the
+            // projection tracks the *final* verified set.
+            (OracleTask::Scrub, "scrub.unverify") => {
+                if let Some(b) = ev.field_u64("block") {
+                    m.remove(&("scrub.verify", b));
+                }
+            }
+            (OracleTask::Backup, "backup.ship") => {
+                if let Some(b) = ev.field_u64("block") {
+                    m.insert(("backup.ship", b), "shipped".to_string());
+                }
+            }
+            (OracleTask::Defrag, "defrag.reloc") => {
+                if let Some(ino) = ev.field_u64("ino") {
+                    m.insert(("defrag.reloc", ino), "rewritten".to_string());
+                }
+            }
+            (OracleTask::Rsync, "rsync.send") => {
+                if let Some(ino) = ev.field_u64("ino") {
+                    m.insert(("rsync.send", ino), "sent".to_string());
+                }
+            }
+            (OracleTask::Gc, "gc.final") => {
+                if let (Some(ino), Some(size), Some(mapped)) = (
+                    ev.field_u64("ino"),
+                    ev.field_u64("size"),
+                    ev.field_u64("mapped"),
+                ) {
+                    m.insert(("gc.final", ino), format!("size={size} mapped={mapped}"));
+                }
+            }
+            _ => {}
+        }
+    }
+    m
+}
+
+/// The last effect event for `(kind, entity)` in a stream, paired with
+/// the stream it came from (for span-chain resolution).
+fn last_effect<'a>(
+    events: &'a [TraceEvent],
+    kind: &str,
+    field: &str,
+    entity: u64,
+) -> Option<(&'a [TraceEvent], &'a TraceEvent)> {
+    events
+        .iter()
+        .rev()
+        .find(|e| {
+            e.layer == TraceLayer::Task && e.kind == kind && e.field_u64(field) == Some(entity)
+        })
+        .map(|e| (events, e))
+}
+
+/// Walks an event's enclosing context spans, innermost first.
+fn span_chain(events: &[TraceEvent], ev: &TraceEvent) -> Vec<String> {
+    let by_span: BTreeMap<u64, &TraceEvent> = events
+        .iter()
+        .filter_map(|e| e.span.map(|s| (s.0, e)))
+        .collect();
+    let mut chain = Vec::new();
+    let mut cur = ev.parent;
+    while let Some(p) = cur {
+        let Some(pe) = by_span.get(&p.0) else {
+            break;
+        };
+        chain.push(format!("{}/{}", pe.layer, pe.kind));
+        cur = pe.parent;
+        if chain.len() >= 16 {
+            break; // Defensive bound; context nesting is shallow.
+        }
+    }
+    chain
 }
 
 // ----- workload -------------------------------------------------------
@@ -228,13 +477,14 @@ fn run_digest(
     seed: u64,
     plan: &FaultPlan,
     sabotage: bool,
+    trace: Option<&TraceHandle>,
 ) -> Result<(String, u64), String> {
     match task {
-        OracleTask::Scrub => run_scrub(mode, seed, plan, sabotage),
-        OracleTask::Backup => run_backup(mode, seed, plan),
-        OracleTask::Defrag => run_defrag(mode, seed, plan),
-        OracleTask::Rsync => run_rsync(mode, seed, plan),
-        OracleTask::Gc => run_gc(mode, seed, plan),
+        OracleTask::Scrub => run_scrub(mode, seed, plan, sabotage, trace),
+        OracleTask::Backup => run_backup(mode, seed, plan, sabotage, trace),
+        OracleTask::Defrag => run_defrag(mode, seed, plan, sabotage, trace),
+        OracleTask::Rsync => run_rsync(mode, seed, plan, sabotage, trace),
+        OracleTask::Gc => run_gc(mode, seed, plan, sabotage, trace),
     }
 }
 
@@ -283,9 +533,14 @@ fn run_scrub(
     seed: u64,
     plan: &FaultPlan,
     sabotage: bool,
+    trace: Option<&TraceHandle>,
 ) -> Result<(String, u64), String> {
     let mut fs = BtrfsSim::new(DeviceId(0), hdd(1 << 14), 128);
     let mut duet = Duet::with_defaults();
+    if let Some(t) = trace {
+        fs.set_trace(Some(t.clone()));
+        duet.set_trace(Some(t.clone()));
+    }
     let mut files = Vec::new();
     for i in 0..4u64 {
         files.push(
@@ -331,9 +586,19 @@ fn run_scrub(
     ))
 }
 
-fn run_backup(mode: TaskMode, seed: u64, plan: &FaultPlan) -> Result<(String, u64), String> {
+fn run_backup(
+    mode: TaskMode,
+    seed: u64,
+    plan: &FaultPlan,
+    sabotage: bool,
+    trace: Option<&TraceHandle>,
+) -> Result<(String, u64), String> {
     let mut fs = BtrfsSim::new(DeviceId(0), hdd(1 << 14), 128);
     let mut duet = Duet::with_defaults();
+    if let Some(t) = trace {
+        fs.set_trace(Some(t.clone()));
+        duet.set_trace(Some(t.clone()));
+    }
     let mut files = Vec::new();
     for i in 0..4u64 {
         files.push(
@@ -343,6 +608,9 @@ fn run_backup(mode: TaskMode, seed: u64, plan: &FaultPlan) -> Result<(String, u6
     }
     let ops = gen_ops(&mut SimRng::new(seed ^ 0xBAC0), 4, 32, true);
     let mut task = Backup::new(mode);
+    if sabotage {
+        task.sabotage_skip_ship();
+    }
     let handle = FaultHandle::new(seed, plan.clone());
     fs.set_faults(Some(handle.clone()));
     fs.set_retry_policy(oracle_retry());
@@ -367,9 +635,19 @@ fn run_backup(mode: TaskMode, seed: u64, plan: &FaultPlan) -> Result<(String, u6
     ))
 }
 
-fn run_defrag(mode: TaskMode, seed: u64, plan: &FaultPlan) -> Result<(String, u64), String> {
+fn run_defrag(
+    mode: TaskMode,
+    seed: u64,
+    plan: &FaultPlan,
+    sabotage: bool,
+    trace: Option<&TraceHandle>,
+) -> Result<(String, u64), String> {
     let mut fs = BtrfsSim::new(DeviceId(0), hdd(1 << 14), 128);
     let mut duet = Duet::with_defaults();
+    if let Some(t) = trace {
+        fs.set_trace(Some(t.clone()));
+        duet.set_trace(Some(t.clone()));
+    }
     let mut files = Vec::new();
     for i in 0..4u64 {
         let ino = fs
@@ -384,6 +662,9 @@ fn run_defrag(mode: TaskMode, seed: u64, plan: &FaultPlan) -> Result<(String, u6
     // with the rewrite, making the final layout timing-dependent.
     let ops = gen_ops(&mut SimRng::new(seed ^ 0xDEF4), 4, 32, false);
     let mut task = Defrag::new(mode);
+    if sabotage {
+        task.sabotage_skip_files();
+    }
     let handle = FaultHandle::new(seed, plan.clone());
     fs.set_faults(Some(handle.clone()));
     fs.set_retry_policy(oracle_retry());
@@ -417,10 +698,20 @@ fn run_defrag(mode: TaskMode, seed: u64, plan: &FaultPlan) -> Result<(String, u6
     ))
 }
 
-fn run_rsync(mode: TaskMode, seed: u64, plan: &FaultPlan) -> Result<(String, u64), String> {
+fn run_rsync(
+    mode: TaskMode,
+    seed: u64,
+    plan: &FaultPlan,
+    sabotage: bool,
+    trace: Option<&TraceHandle>,
+) -> Result<(String, u64), String> {
     let mut src = BtrfsSim::new(DeviceId(0), hdd(1 << 14), 128);
     let mut dst = BtrfsSim::new(DeviceId(1), hdd(1 << 14), 128);
     let mut duet = Duet::with_defaults();
+    if let Some(t) = trace {
+        src.set_trace(Some(t.clone()));
+        duet.set_trace(Some(t.clone()));
+    }
     let docs = src.mkdir(src.root(), "docs").map_err(|e| e.to_string())?;
     let mut files = Vec::new();
     for (i, (parent, pages)) in [(docs, 8u64), (docs, 8), (src.root(), 16), (src.root(), 8)]
@@ -436,6 +727,9 @@ fn run_rsync(mode: TaskMode, seed: u64, plan: &FaultPlan) -> Result<(String, u64
     // make the captured image size timing-dependent.
     let ops = gen_ops(&mut SimRng::new(seed ^ 0x55C1), 4, 8, false);
     let mut task = Rsync::new(mode, src.root());
+    if sabotage {
+        task.sabotage_skip_files();
+    }
     let handle = FaultHandle::new(seed, plan.clone());
     src.set_faults(Some(handle.clone()));
     src.set_retry_policy(oracle_retry());
@@ -499,9 +793,19 @@ fn run_rsync(mode: TaskMode, seed: u64, plan: &FaultPlan) -> Result<(String, u64
     Ok((format!("image={image:?}"), handle.total_fired()))
 }
 
-fn run_gc(mode: TaskMode, seed: u64, plan: &FaultPlan) -> Result<(String, u64), String> {
+fn run_gc(
+    mode: TaskMode,
+    seed: u64,
+    plan: &FaultPlan,
+    sabotage: bool,
+    trace: Option<&TraceHandle>,
+) -> Result<(String, u64), String> {
     let mut fs = F2fsSim::new(DeviceId(1), hdd(256), 64, 8);
     let mut duet = Duet::with_defaults();
+    if let Some(t) = trace {
+        fs.set_trace(Some(t.clone()));
+        duet.set_trace(Some(t.clone()));
+    }
     let mut files = Vec::new();
     for i in 0..4u64 {
         files.push(
@@ -512,6 +816,9 @@ fn run_gc(mode: TaskMode, seed: u64, plan: &FaultPlan) -> Result<(String, u64), 
     let mut rng = SimRng::new(seed ^ 0x6C6C);
     let ops = gen_ops(&mut rng, 4, 8, true);
     let mut task = GarbageCollector::new(mode, VictimPolicy::Greedy).with_window(32);
+    if sabotage {
+        task.sabotage_lose_block();
+    }
     let handle = FaultHandle::new(seed, plan.clone());
     fs.set_faults(Some(handle.clone()));
     fs.set_retry_policy(oracle_retry());
@@ -582,6 +889,21 @@ fn run_gc(mode: TaskMode, seed: u64, plan: &FaultPlan) -> Result<(String, u64), 
                 .unwrap_or(false)
         });
         state.push((ino.raw(), size, mapped));
+    }
+    // "The notion of completed work does not apply to the garbage
+    // collector" (§5.4): there is no per-item effect to trace during
+    // the run, so the localizer's effect vocabulary for GC is the
+    // final logical file state, emitted here as synthetic events.
+    if let Some(t) = fs.trace() {
+        for &(ino, size, mapped) in &state {
+            t.event(TraceLayer::Task, "gc.final", T0, || {
+                vec![
+                    ("ino", ino.into()),
+                    ("size", size.into()),
+                    ("mapped", u64::from(mapped).into()),
+                ]
+            });
+        }
     }
     Ok((format!("files={state:?}"), handle.total_fired()))
 }

@@ -213,8 +213,20 @@ pub fn run_experiment_cached(
     cfg: &ExperimentConfig,
     profiles: &ProfileCache,
 ) -> SimResult<ExperimentResult> {
+    run_experiment_cached_traced(cfg, profiles, None)
+}
+
+/// [`run_experiment_cached`] with structured tracing armed on the whole
+/// stack (see [`crate::runner::run_experiment_traced`]). The profile
+/// pass itself is never traced: it is calibration, not the measured
+/// window.
+pub fn run_experiment_cached_traced(
+    cfg: &ExperimentConfig,
+    profiles: &ProfileCache,
+    trace: Option<&sim_core::trace::TraceHandle>,
+) -> SimResult<ExperimentResult> {
     let seed = profiles.get_or_profile(cfg)?;
-    run_experiment_seeded(cfg, seed)
+    run_experiment_seeded(cfg, seed, trace)
 }
 
 #[cfg(test)]

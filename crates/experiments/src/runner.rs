@@ -27,6 +27,7 @@ use duet_tasks::{
     TaskMode, //
 };
 use sim_btrfs::BtrfsSim;
+use sim_core::trace::TraceHandle;
 use sim_core::{SimDuration, SimInstant, SimResult, SimRng};
 use sim_disk::{Disk, HddModel, IoClass, SchedulerPolicy, SsdModel};
 use sim_f2fs::{F2fsSim, VictimPolicy};
@@ -87,7 +88,20 @@ fn maybe_writeback(
 /// Runs one Btrfs-model experiment to completion of the window (or of
 /// all maintenance work, when there is no foreground workload).
 pub fn run_experiment(cfg: &ExperimentConfig) -> SimResult<ExperimentResult> {
-    run_experiment_seeded(cfg, None)
+    run_experiment_seeded(cfg, None, None)
+}
+
+/// [`run_experiment`] with structured tracing armed on the whole stack
+/// (disk, cache, filesystem, Duet, tasks) for the duration of the
+/// measurement window. The caller owns the handle: read
+/// [`TraceHandle::counters`] or dump JSONL/Chrome after the run. With
+/// `None` this is exactly [`run_experiment`] — the results are
+/// byte-identical either way (tracing never touches simulated state).
+pub fn run_experiment_traced(
+    cfg: &ExperimentConfig,
+    trace: Option<&TraceHandle>,
+) -> SimResult<ExperimentResult> {
+    run_experiment_seeded(cfg, None, trace)
 }
 
 /// [`run_experiment`] with an optional profiled busy-per-op seed for
@@ -96,6 +110,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> SimResult<ExperimentResult> {
 pub(crate) fn run_experiment_seeded(
     cfg: &ExperimentConfig,
     profiled_busy_per_op: Option<f64>,
+    trace: Option<&TraceHandle>,
 ) -> SimResult<ExperimentResult> {
     let disk = build_disk(cfg.device, cfg.capacity_blocks);
     let mut fs = BtrfsSim::new(sim_core::DeviceId(0), disk, cfg.cache_pages);
@@ -145,6 +160,12 @@ pub(crate) fn run_experiment_seeded(
     fs.cache_mut().drain_events();
     fs.drain_fs_events();
     fs.disk_mut().reset_metrics();
+    // Arm tracing only now: population and aging are setup, not the
+    // measured window (mirroring the metric reset above).
+    if trace.is_some() {
+        fs.set_trace(trace.cloned());
+        duet.set_trace(trace.cloned());
+    }
 
     // Task setup (Duet registration scans run here).
     let mode = if cfg.duet {
@@ -329,6 +350,17 @@ pub struct RsyncResult {
 /// workload on the source device, as in §6.2: one workload operation
 /// and one rsync chunk alternate until the transfer completes.
 pub fn run_rsync_experiment(cfg: &ExperimentConfig, duet_mode: bool) -> SimResult<RsyncResult> {
+    run_rsync_experiment_traced(cfg, duet_mode, None)
+}
+
+/// [`run_rsync_experiment`] with structured tracing armed on the source
+/// stack and the Duet framework (the destination device is write-only
+/// mirroring; tracing it would double-count every shipped block).
+pub fn run_rsync_experiment_traced(
+    cfg: &ExperimentConfig,
+    duet_mode: bool,
+    trace: Option<&TraceHandle>,
+) -> SimResult<RsyncResult> {
     let src_disk = build_disk(cfg.device, cfg.capacity_blocks);
     let dst_disk = build_disk(cfg.device, cfg.capacity_blocks);
     let mut src = BtrfsSim::new(sim_core::DeviceId(0), src_disk, cfg.cache_pages);
@@ -344,6 +376,10 @@ pub fn run_rsync_experiment(cfg: &ExperimentConfig, duet_mode: bool) -> SimResul
     src.cache_mut().drain_events();
     src.drain_fs_events();
     src.disk_mut().reset_metrics();
+    if trace.is_some() {
+        src.set_trace(trace.cloned());
+        duet.set_trace(trace.cloned());
+    }
     let mode = if duet_mode {
         TaskMode::Duet
     } else {
@@ -456,6 +492,15 @@ pub struct GcResult {
 
 /// Runs the F2fs cleaner under a foreground workload (Table 6).
 pub fn run_gc_experiment(cfg: &GcExperimentConfig) -> SimResult<GcResult> {
+    run_gc_experiment_traced(cfg, None)
+}
+
+/// [`run_gc_experiment`] with structured tracing armed on the F2fs
+/// stack and the Duet framework.
+pub fn run_gc_experiment_traced(
+    cfg: &GcExperimentConfig,
+    trace: Option<&TraceHandle>,
+) -> SimResult<GcResult> {
     let capacity = cfg.nsegs as u64 * cfg.seg_blocks;
     let disk = Disk::new(Box::new(HddModel::sas_10k(capacity)));
     let mut fs = F2fsSim::new(sim_core::DeviceId(1), disk, cfg.cache_pages, cfg.seg_blocks);
@@ -463,6 +508,10 @@ pub fn run_gc_experiment(cfg: &GcExperimentConfig) -> SimResult<GcResult> {
     let mut workload = Workload::setup(&mut fs, cfg.workload, cfg.fileset)?;
     fs.cache_mut().drain_events();
     fs.disk_mut().reset_metrics();
+    if trace.is_some() {
+        fs.set_trace(trace.cloned());
+        duet.set_trace(trace.cloned());
+    }
     let mode = if cfg.duet {
         TaskMode::Duet
     } else {

@@ -28,6 +28,7 @@ use crate::inode::{InodeKind, InodeTable};
 use crate::snapshot::{SnapFile, Snapshot, SnapshotId};
 use sim_cache::{PageCache, PageKey, PageMeta};
 use sim_core::fault::{FaultHandle, FaultSite};
+use sim_core::trace::{TraceHandle, TraceLayer};
 use sim_core::{
     BlockNr,
     DeviceId,
@@ -121,6 +122,7 @@ pub struct BtrfsSim {
     fs_events: VecDeque<FsEvent>,
     retry: RetryPolicy,
     faults: Option<FaultHandle>,
+    trace: Option<TraceHandle>,
 }
 
 impl BtrfsSim {
@@ -140,7 +142,23 @@ impl BtrfsSim {
             fs_events: VecDeque::new(),
             retry: RetryPolicy::default(),
             faults: None,
+            trace: None,
         }
+    }
+
+    /// Arms (or disarms, with `None`) tracing on this filesystem, its
+    /// disk and its page cache. Pure observation: completion times,
+    /// stats and event streams are unaffected.
+    pub fn set_trace(&mut self, trace: Option<TraceHandle>) {
+        self.disk.set_trace(trace.clone());
+        self.cache.set_trace(trace.clone());
+        self.trace = trace;
+    }
+
+    /// The armed trace handle, if any — tasks use it to bracket their
+    /// work items with provenance spans.
+    pub fn trace(&self) -> Option<&TraceHandle> {
+        self.trace.as_ref()
     }
 
     /// Arms (or disarms) fault injection on the disk and page cache.
@@ -295,6 +313,9 @@ impl BtrfsSim {
     /// `ino` starting at logical page `page0`, and maps them.
     fn cow_allocate(&mut self, ino: InodeNr, page0: u64, npages: u64) -> SimResult<Vec<Run>> {
         let runs = self.alloc.alloc_exact(npages)?;
+        if let Some(trace) = &self.trace {
+            trace.tick(TraceLayer::Btrfs, "alloc");
+        }
         let mut logical = page0;
         for run in &runs {
             for i in 0..run.len {
@@ -345,6 +366,16 @@ impl BtrfsSim {
         now: SimInstant,
         stats: &mut OpStats,
     ) -> SimResult<()> {
+        if let Some(trace) = &self.trace {
+            trace.event(TraceLayer::Btrfs, "submit", now, || {
+                vec![
+                    ("op", kind.label().into()),
+                    ("class", class.label().into()),
+                    ("runs", runs.len().into()),
+                    ("blocks", runs.iter().map(|r| r.len).sum::<u64>().into()),
+                ]
+            });
+        }
         for run in runs {
             let req = IoRequest::new(kind, run.start, run.len, class);
             let (finish, _) = self.disk.submit_with_retry(&req, now, self.retry)?;
@@ -428,7 +459,17 @@ impl BtrfsSim {
         }
         // Verify checksums on the device read path.
         for (_, b) in &missing {
-            self.blocks.verify_checksum(*b)?;
+            if let Err(e) = self.blocks.verify_checksum(*b) {
+                if let Some(trace) = &self.trace {
+                    trace.event(TraceLayer::Btrfs, "checksum.fail", now, || {
+                        vec![("block", b.raw().into()), ("ino", ino.raw().into())]
+                    });
+                }
+                return Err(e);
+            }
+            if let Some(trace) = &self.trace {
+                trace.tick(TraceLayer::Btrfs, "checksum.ok");
+            }
         }
         let runs = Self::coalesce(missing.iter().map(|(_, b)| *b).collect());
         self.submit_runs(&runs, IoKind::Read, class, now, &mut stats)?;
@@ -754,9 +795,17 @@ impl BtrfsSim {
     /// `true` if a corruption was found (and fixed).
     pub fn verify_and_repair(&mut self, b: BlockNr) -> SimResult<bool> {
         match self.blocks.verify_checksum(b) {
-            Ok(()) => Ok(false),
+            Ok(()) => {
+                if let Some(trace) = &self.trace {
+                    trace.tick(TraceLayer::Btrfs, "checksum.ok");
+                }
+                Ok(false)
+            }
             Err(SimError::ChecksumMismatch(_)) => {
                 self.blocks.repair(b)?;
+                if let Some(trace) = &self.trace {
+                    trace.tick(TraceLayer::Btrfs, "repair");
+                }
                 Ok(true)
             }
             Err(e) => Err(e),

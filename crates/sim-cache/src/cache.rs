@@ -13,6 +13,7 @@
 
 use crate::page::{PageEvent, PageKey, PageMeta};
 use sim_core::fault::{FaultHandle, FaultSite};
+use sim_core::trace::{TraceHandle, TraceLayer};
 use sim_core::{BlockNr, InodeNr, PageIndex};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::ops::RangeInclusive;
@@ -82,6 +83,11 @@ pub struct PageCache {
     /// Fault-injection handle; `None` (or a quiet plan) behaves
     /// byte-identically to an unfaulted cache.
     faults: Option<FaultHandle>,
+    /// Trace handle. The cache has no clock, so its hooks are pure
+    /// counter ticks (`cache.add` / `cache.remove` / `cache.dirty` /
+    /// `cache.flush` / `cache.evict`); timestamped ring events for
+    /// cache-driven I/O come from the filesystem layers above.
+    trace: Option<TraceHandle>,
 }
 
 impl PageCache {
@@ -103,6 +109,7 @@ impl PageCache {
             per_ino: BTreeMap::new(),
             protected: BTreeSet::new(),
             faults: None,
+            trace: None,
         }
     }
 
@@ -110,6 +117,12 @@ impl PageCache {
     /// on insert and dirty-page writeback failures.
     pub fn set_faults(&mut self, faults: Option<FaultHandle>) {
         self.faults = faults;
+    }
+
+    /// Arms (or disarms, with `None`) tracing. Pure observation: cache
+    /// contents, events and statistics are unaffected.
+    pub fn set_trace(&mut self, trace: Option<TraceHandle>) {
+        self.trace = trace;
     }
 
     /// Replaces the advisory protection set (informed replacement).
@@ -190,6 +203,15 @@ impl PageCache {
     }
 
     fn push_event(&mut self, meta: PageMeta, ev: PageEvent) {
+        if let Some(trace) = &self.trace {
+            let kind = match ev {
+                PageEvent::Added => "add",
+                PageEvent::Removed => "remove",
+                PageEvent::Dirtied => "dirty",
+                PageEvent::Flushed => "flush",
+            };
+            trace.tick(TraceLayer::Cache, kind);
+        }
         self.events.push_back((meta, ev));
     }
 
@@ -331,6 +353,9 @@ impl PageCache {
                 self.push_event(before, PageEvent::Removed);
             }
             self.stats.evictions += 1;
+            if let Some(trace) = &self.trace {
+                trace.tick(TraceLayer::Cache, "evict");
+            }
             evicted.push(before);
         }
         evicted
@@ -382,6 +407,9 @@ impl PageCache {
             // dirty index is untouched, so the next batch retries it.
             if let Some(faults) = &self.faults {
                 if faults.fire(FaultSite::CacheWritebackFail) {
+                    if let Some(trace) = &self.trace {
+                        trace.tick(TraceLayer::Cache, "writeback.fail");
+                    }
                     continue;
                 }
             }

@@ -26,6 +26,10 @@
 //!   sites throughout the stack.
 //! - [`check`]: a zero-dependency property-test helper with
 //!   deterministic case generation and seed-reporting failures.
+//! - [`trace`]: the virtual-time structured tracing plane — ring-buffered
+//!   events and spans from every layer, with JSONL / Chrome `trace_event`
+//!   dumps and whole-run counters; compiled out entirely when the `trace`
+//!   cargo feature is disabled.
 
 pub mod bitmap;
 pub mod check;
@@ -35,6 +39,7 @@ pub mod fault;
 pub mod ids;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 pub use bitmap::SparseBitmap;
 pub use clock::{Clock, SimDuration, SimInstant};
@@ -48,6 +53,7 @@ pub use ids::{
     SegmentNr, //
 };
 pub use rng::SimRng;
+pub use trace::{SpanId, TraceEvent, TraceHandle, TraceLayer};
 
 /// Size of a page (and of a filesystem block) in bytes.
 ///

@@ -21,7 +21,7 @@
 //! is why the seek constants are smaller than a datasheet average seek.
 
 use crate::request::IoRequest;
-use crate::DeviceModel;
+use crate::{DeviceModel, ServiceParts};
 use sim_core::{BlockNr, SimDuration, PAGE_SIZE};
 
 /// Seek + rotation + transfer hard-disk model.
@@ -92,17 +92,21 @@ impl HddModel {
 }
 
 impl DeviceModel for HddModel {
-    fn service_time(&mut self, req: &IoRequest) -> SimDuration {
+    fn service_parts(&mut self, req: &IoRequest) -> ServiceParts {
         let sequential = self.prev_end == Some(req.start);
-        let positioning = if sequential {
-            SimDuration::ZERO
+        let (seek, rotation) = if sequential {
+            (SimDuration::ZERO, SimDuration::ZERO)
         } else {
-            self.seek_time(self.head, req.start) + self.rotational
+            (self.seek_time(self.head, req.start), self.rotational)
         };
-        let total = positioning + self.transfer_time(req.nblocks);
+        let parts = ServiceParts {
+            seek,
+            rotation,
+            transfer: self.transfer_time(req.nblocks),
+        };
         self.head = req.end();
         self.prev_end = Some(req.end());
-        total
+        parts
     }
 
     fn capacity_blocks(&self) -> u64 {

@@ -33,14 +33,42 @@ pub use scheduler::{RetryPolicy, SchedulerPolicy};
 pub use ssd::SsdModel;
 
 use sim_core::fault::{FaultHandle, FaultSite};
+use sim_core::trace::{TraceHandle, TraceLayer};
 use sim_core::{BlockNr, SimDuration, SimError, SimInstant, SimResult, PAGE_SIZE};
+
+/// Mechanical breakdown of one request's service time. The trace plane
+/// records the three parts separately so seek-bound and transfer-bound
+/// phases of a run can be told apart in the dumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceParts {
+    /// Arm movement (HDD) or per-operation overhead (SSD).
+    pub seek: SimDuration,
+    /// Rotational latency (zero on SSDs).
+    pub rotation: SimDuration,
+    /// Media transfer.
+    pub transfer: SimDuration,
+}
+
+impl ServiceParts {
+    /// The total service time, as charged to the device.
+    pub fn total(&self) -> SimDuration {
+        self.seek + self.rotation + self.transfer
+    }
+}
 
 /// A device model computes the service time of one request, given its
 /// own internal state (e.g. head position).
 pub trait DeviceModel {
-    /// Service time for `req`, updating internal state (head position,
-    /// last-access block) as a side effect.
-    fn service_time(&mut self, req: &IoRequest) -> SimDuration;
+    /// Service time for `req`, broken into seek / rotation / transfer,
+    /// updating internal state (head position, last-access block) as a
+    /// side effect.
+    fn service_parts(&mut self, req: &IoRequest) -> ServiceParts;
+
+    /// Total service time for `req`; state updates as in
+    /// [`DeviceModel::service_parts`].
+    fn service_time(&mut self, req: &IoRequest) -> SimDuration {
+        self.service_parts(req).total()
+    }
 
     /// Device capacity in blocks.
     fn capacity_blocks(&self) -> u64;
@@ -72,6 +100,7 @@ pub struct Disk {
     busy_until: SimInstant,
     metrics: DiskMetrics,
     faults: Option<FaultHandle>,
+    trace: Option<TraceHandle>,
 }
 
 impl Disk {
@@ -82,6 +111,7 @@ impl Disk {
             busy_until: SimInstant::EPOCH,
             metrics: DiskMetrics::default(),
             faults: None,
+            trace: None,
         }
     }
 
@@ -90,6 +120,12 @@ impl Disk {
     /// to an unfaulted disk.
     pub fn set_faults(&mut self, faults: Option<FaultHandle>) {
         self.faults = faults;
+    }
+
+    /// Arms (or disarms, with `None`) tracing on this device. Tracing is
+    /// pure observation: service times and metrics are unaffected.
+    pub fn set_trace(&mut self, trace: Option<TraceHandle>) {
+        self.trace = trace;
     }
 
     /// Device capacity in blocks.
@@ -165,9 +201,24 @@ impl Disk {
                 Ok(finish) => return Ok((finish, attempt)),
                 Err(SimError::TransientIo(b)) => {
                     if attempt >= policy.max_attempts {
+                        if let Some(trace) = &self.trace {
+                            trace.event(TraceLayer::Disk, "retry.exhausted", at, || {
+                                vec![("block", b.raw().into()), ("attempts", attempt.into())]
+                            });
+                        }
                         return Err(SimError::TransientIo(b));
                     }
-                    at += policy.backoff_after(attempt - 1);
+                    let backoff = policy.backoff_after(attempt - 1);
+                    if let Some(trace) = &self.trace {
+                        trace.event(TraceLayer::Disk, "retry", at, || {
+                            vec![
+                                ("block", b.raw().into()),
+                                ("attempt", attempt.into()),
+                                ("backoff_ns", backoff.as_nanos().into()),
+                            ]
+                        });
+                    }
+                    at += backoff;
                 }
                 Err(e) => return Err(e),
             }
@@ -179,15 +230,35 @@ impl Disk {
     /// multiplying the service time deterministically.
     fn execute(&mut self, req: &IoRequest, now: SimInstant) -> SimInstant {
         let start = self.busy_until.max(now);
-        let mut service = self.model.service_time(req);
+        let parts = self.model.service_parts(req);
+        let mut service = parts.total();
+        let mut spiked = 0u64;
         if let Some(faults) = &self.faults {
             if faults.fire(FaultSite::DiskLatencySpike) {
-                service = service * faults.amplitude(FaultSite::DiskLatencySpike, 2, 17);
+                spiked = faults.amplitude(FaultSite::DiskLatencySpike, 2, 17);
+                service = service * spiked;
             }
         }
         let finish = start + service;
         self.busy_until = finish;
         self.metrics.record(req, service);
+        if let Some(trace) = &self.trace {
+            trace.span(TraceLayer::Disk, "io", start, service, || {
+                let mut fields = vec![
+                    ("op", req.kind.label().into()),
+                    ("class", req.class.label().into()),
+                    ("block", req.start.raw().into()),
+                    ("nblocks", req.nblocks.into()),
+                    ("seek_ns", parts.seek.as_nanos().into()),
+                    ("rot_ns", parts.rotation.as_nanos().into()),
+                    ("xfer_ns", parts.transfer.as_nanos().into()),
+                ];
+                if spiked > 0 {
+                    fields.push(("spike_x", spiked.into()));
+                }
+                fields
+            });
+        }
         finish
     }
 
@@ -286,6 +357,70 @@ mod tests {
         assert_eq!(request_end(BlockNr(10), 5), BlockNr(15));
     }
 
+    #[cfg(feature = "trace")]
+    mod trace {
+        use super::*;
+        use sim_core::fault::{FaultHandle, FaultPlan, FaultSite};
+        use sim_core::trace::{TraceHandle, TraceLayer};
+
+        #[test]
+        fn io_span_carries_service_breakdown() {
+            let mut disk = Disk::new(Box::new(HddModel::sas_10k(1 << 20)));
+            let tr = TraceHandle::new(64);
+            disk.set_trace(Some(tr.clone()));
+            let finish = disk.submit(&read(500_000, 16), SimInstant::EPOCH);
+            let evs = tr.events();
+            assert_eq!(evs.len(), 1);
+            let ev = &evs[0];
+            assert_eq!(ev.layer, TraceLayer::Disk);
+            assert_eq!(ev.kind, "io");
+            assert_eq!(ev.field_str("op"), Some("read"));
+            assert_eq!(ev.field_u64("block"), Some(500_000));
+            assert_eq!(ev.field_u64("nblocks"), Some(16));
+            // The parts sum to the span's extent, which ends at `finish`.
+            let parts = ev.field_u64("seek_ns").unwrap()
+                + ev.field_u64("rot_ns").unwrap()
+                + ev.field_u64("xfer_ns").unwrap();
+            assert_eq!(parts, ev.dur.as_nanos());
+            assert_eq!(ev.at + ev.dur, finish);
+            assert!(ev.field_u64("seek_ns").unwrap() > 0, "non-sequential seek");
+        }
+
+        #[test]
+        fn retry_events_name_block_and_backoff() {
+            let plan = FaultPlan::quiet().with_ppm(FaultSite::DiskTransientIo, 1_000_000);
+            let handle = FaultHandle::new(1, plan);
+            let mut disk = Disk::new(Box::new(HddModel::sas_10k(1 << 20)));
+            disk.set_faults(Some(handle));
+            let tr = TraceHandle::new(64);
+            disk.set_trace(Some(tr.clone()));
+            let policy = RetryPolicy::default();
+            disk.submit_with_retry(&read(7, 8), SimInstant::EPOCH, policy)
+                .unwrap_err();
+            let evs = tr.events();
+            // 3 retries then exhaustion under the 4-attempt default.
+            assert_eq!(evs.len(), 4);
+            assert_eq!(evs[0].kind, "retry");
+            assert_eq!(evs[0].field_u64("block"), Some(7));
+            assert_eq!(evs[0].field_u64("backoff_ns"), Some(500_000));
+            assert_eq!(evs[3].kind, "retry.exhausted");
+            assert_eq!(evs[3].field_u64("attempts"), Some(4));
+        }
+
+        #[test]
+        fn tracing_never_perturbs_service_times() {
+            let mut traced = Disk::new(Box::new(HddModel::sas_10k(1 << 20)));
+            traced.set_trace(Some(TraceHandle::new(8)));
+            let mut plain = Disk::new(Box::new(HddModel::sas_10k(1 << 20)));
+            let mut t = SimInstant::EPOCH;
+            for i in 0..64 {
+                let req = read((i * 104_729_123) % ((1 << 20) - 16), 16);
+                assert_eq!(traced.submit(&req, t), plain.submit(&req, t));
+                t = traced.busy_until();
+            }
+        }
+    }
+
     mod faults {
         use super::*;
         use sim_core::fault::{FaultHandle, FaultPlan, FaultSite};
@@ -363,6 +498,40 @@ mod tests {
             // Same (seed, plan) pair replays bit-identically.
             let (mut replay, _) = disk_with(plan, 7);
             assert_eq!(replay.submit(&read(0, 8), SimInstant::EPOCH), spiked);
+        }
+
+        #[test]
+        fn submission_count_matches_attempt_budget() {
+            // Pins the RetryPolicy semantics: `max_attempts` counts
+            // total submissions, with a budget of 0 behaving like 1
+            // (the first submission is unconditional). Every submission
+            // consults the EIO fault site exactly once, so the site's
+            // trial count *is* the device submission count.
+            for budget in [0u32, 1, 2, 4, 7] {
+                let plan = FaultPlan::quiet().with_ppm(FaultSite::DiskTransientIo, 1_000_000);
+                let (mut disk, handle) = disk_with(plan, 11);
+                let policy = RetryPolicy {
+                    max_attempts: budget,
+                    base_backoff: SimDuration::from_micros(500),
+                };
+                let err = disk
+                    .submit_with_retry(&read(0, 8), SimInstant::EPOCH, policy)
+                    .unwrap_err();
+                assert_eq!(err, sim_core::SimError::TransientIo(BlockNr(0)));
+                let expected = budget.max(1) as u64;
+                assert_eq!(
+                    handle.trials(FaultSite::DiskTransientIo),
+                    expected,
+                    "budget {budget}: wrong submission count"
+                );
+                // N submissions ⇒ at most N−1 backoffs charged.
+                let worst = policy.worst_case_backoff();
+                let mut expected_backoff = SimDuration::ZERO;
+                for a in 0..expected.saturating_sub(1) as u32 {
+                    expected_backoff += policy.backoff_after(a);
+                }
+                assert_eq!(worst, expected_backoff, "budget {budget}");
+            }
         }
 
         #[test]

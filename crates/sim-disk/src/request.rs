@@ -11,6 +11,16 @@ pub enum IoKind {
     Write,
 }
 
+impl IoKind {
+    /// Stable lowercase name, used in trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoKind::Read => "read",
+            IoKind::Write => "write",
+        }
+    }
+}
+
 /// Scheduling class of a request.
 ///
 /// Mirrors the two CFQ classes the paper uses (§6.1.3): foreground
@@ -23,6 +33,16 @@ pub enum IoClass {
     Normal,
     /// Background maintenance I/O (CFQ idle class).
     Idle,
+}
+
+impl IoClass {
+    /// Stable lowercase name, used in trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoClass::Normal => "normal",
+            IoClass::Idle => "idle",
+        }
+    }
 }
 
 /// A contiguous block-range I/O request.

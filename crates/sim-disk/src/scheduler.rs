@@ -92,9 +92,22 @@ impl SchedulerPolicy {
 /// The real kernel retries a failed bio a bounded number of times before
 /// surfacing EIO; we model that with exponential backoff — attempt `k`
 /// (0-based) waits `base_backoff << k` before resubmitting.
+///
+/// # Attempt-count semantics
+///
+/// `max_attempts` counts **total submissions**, not retries: a policy of
+/// N performs the initial submission plus at most N−1 retries, so at
+/// most N−1 backoffs are ever charged. This is why
+/// [`RetryPolicy::worst_case_backoff`] sums `0..max_attempts - 1` — it
+/// is *not* an off-by-one. A budget of 0 is treated like 1: the first
+/// submission is unconditional (there is no way to "try zero times"),
+/// it just gets no retries. These semantics are pinned by
+/// `submission_count_matches_attempt_budget` in the `sim-disk` crate
+/// root, which counts actual device submissions per budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
-    /// Total tries, including the first submission.
+    /// Total tries, including the first submission (see the
+    /// attempt-count semantics above; 0 behaves like 1).
     pub max_attempts: u32,
     /// Backoff before the first retry; doubles each further retry.
     pub base_backoff: SimDuration,
@@ -107,8 +120,9 @@ impl RetryPolicy {
         self.base_backoff * (1u64 << attempt.min(20))
     }
 
-    /// Total virtual time spent backing off if every attempt but the
-    /// last fails.
+    /// Total virtual time spent backing off if every attempt fails:
+    /// N submissions are separated by N−1 backoffs (none after the
+    /// final, failing attempt — the error surfaces immediately).
     pub fn worst_case_backoff(&self) -> SimDuration {
         let mut total = SimDuration::ZERO;
         for attempt in 0..self.max_attempts.saturating_sub(1) {

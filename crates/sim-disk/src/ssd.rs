@@ -15,7 +15,7 @@
 //! DESIGN.md.
 
 use crate::request::{IoKind, IoRequest};
-use crate::DeviceModel;
+use crate::{DeviceModel, ServiceParts};
 use sim_core::{BlockNr, SimDuration, PAGE_SIZE};
 
 /// Per-operation-overhead SSD model.
@@ -68,8 +68,10 @@ impl SsdModel {
 }
 
 impl DeviceModel for SsdModel {
-    fn service_time(&mut self, req: &IoRequest) -> SimDuration {
+    fn service_parts(&mut self, req: &IoRequest) -> ServiceParts {
         let sequential = self.prev_end == Some(req.start);
+        // The per-op overhead occupies the "seek" slot of the breakdown;
+        // an SSD has no rotational component.
         let overhead = if sequential {
             SimDuration::ZERO
         } else {
@@ -79,7 +81,11 @@ impl DeviceModel for SsdModel {
             }
         };
         self.prev_end = Some(req.end());
-        overhead + self.transfer_time(req.nblocks)
+        ServiceParts {
+            seek: overhead,
+            rotation: SimDuration::ZERO,
+            transfer: self.transfer_time(req.nblocks),
+        }
     }
 
     fn capacity_blocks(&self) -> u64 {

@@ -19,6 +19,7 @@
 use crate::segment::{segment_of, segment_start, SegState, SegmentInfo};
 use sim_cache::{PageCache, PageKey, PageMeta};
 use sim_core::fault::FaultHandle;
+use sim_core::trace::{TraceHandle, TraceLayer};
 use sim_core::{
     BlockNr,
     DeviceId,
@@ -120,6 +121,7 @@ pub struct F2fsSim {
     /// Threshold of free segments below which SSR engages.
     ssr_threshold: u32,
     retry: RetryPolicy,
+    trace: Option<TraceHandle>,
 }
 
 impl F2fsSim {
@@ -155,6 +157,7 @@ impl F2fsSim {
             free_segs: nsegs,
             ssr_threshold: 4,
             retry: RetryPolicy::default(),
+            trace: None,
         };
         fs.segs[0].state = SegState::Open;
         fs.free_segs -= 1;
@@ -168,6 +171,20 @@ impl F2fsSim {
     pub fn set_faults(&mut self, faults: Option<FaultHandle>) {
         self.disk.set_faults(faults.clone());
         self.cache.set_faults(faults);
+    }
+
+    /// Arms (or disarms, with `None`) tracing on this filesystem, its
+    /// disk and its page cache. Pure observation: completion times,
+    /// stats and event streams are unaffected.
+    pub fn set_trace(&mut self, trace: Option<TraceHandle>) {
+        self.disk.set_trace(trace.clone());
+        self.cache.set_trace(trace.clone());
+        self.trace = trace;
+    }
+
+    /// The armed trace handle, if any.
+    pub fn trace(&self) -> Option<&TraceHandle> {
+        self.trace.as_ref()
     }
 
     /// Overrides the transient-I/O retry policy (the fault matrix
@@ -440,6 +457,12 @@ impl F2fsSim {
     /// block plus whether SSR was used.
     fn flush_page(&mut self, ino: InodeNr, idx: PageIndex) -> SimResult<(BlockNr, bool)> {
         let (new_block, ssr) = self.log_alloc()?;
+        if let Some(trace) = &self.trace {
+            trace.tick(TraceLayer::F2fs, "log_append");
+            if ssr {
+                trace.tick(TraceLayer::F2fs, "ssr");
+            }
+        }
         let old = {
             let node = self.get_mut(ino)?;
             let i = idx.raw() as usize;
@@ -476,6 +499,15 @@ impl F2fsSim {
         }
         if blocks.is_empty() {
             return Ok(());
+        }
+        if let Some(trace) = &self.trace {
+            trace.event(TraceLayer::F2fs, "submit", now, || {
+                vec![
+                    ("op", "write".into()),
+                    ("class", class.label().into()),
+                    ("blocks", blocks.len().into()),
+                ]
+            });
         }
         blocks.sort_unstable();
         let mut run_start = blocks[0];
@@ -530,6 +562,15 @@ impl F2fsSim {
         }
         if missing.is_empty() {
             return Ok(stats);
+        }
+        if let Some(trace) = &self.trace {
+            trace.event(TraceLayer::F2fs, "submit", now, || {
+                vec![
+                    ("op", "read".into()),
+                    ("class", class.label().into()),
+                    ("blocks", missing.len().into()),
+                ]
+            });
         }
         let mut blocks: Vec<BlockNr> = missing.iter().map(|(_, b)| *b).collect();
         blocks.sort_unstable();
@@ -657,6 +698,11 @@ impl F2fsSim {
     ) -> SimResult<CleanResult> {
         let victims = self.valid_blocks_of(seg);
         let valid_blocks = victims.len() as u32;
+        if let Some(trace) = &self.trace {
+            trace.event(TraceLayer::F2fs, "clean", now, || {
+                vec![("seg", seg.raw().into()), ("valid", valid_blocks.into())]
+            });
+        }
         let mut cached_blocks = 0u32;
         let mut to_read: Vec<(BlockNr, InodeNr, PageIndex)> = Vec::new();
         for (b, ino, idx) in &victims {
@@ -699,6 +745,30 @@ impl F2fsSim {
             duration: stats.finish.saturating_duration_since(now),
             finish: stats.finish,
         })
+    }
+
+    /// Test-only defect hook for the equivalence oracle: silently drops
+    /// one page's mapping, the way a buggy segment cleaner that loses a
+    /// block during migration would. The block is invalidated and the
+    /// mapping cleared, so [`F2fsSim::check_consistency`] still passes
+    /// — the loss is only visible in the logical file state (an
+    /// unmapped page), which is what the oracle's final-state digest
+    /// compares.
+    #[doc(hidden)]
+    pub fn sabotage_drop_mapping(&mut self, ino: InodeNr, index: PageIndex) -> SimResult<()> {
+        let node = self.get_mut(ino)?;
+        let Some(slot) = node.map.get_mut(index.raw() as usize) else {
+            return Ok(());
+        };
+        let Some(b) = slot.take() else {
+            return Ok(());
+        };
+        // Drop the cached copy too: a pending dirty page would
+        // otherwise be flushed later and re-map the page, hiding the
+        // loss.
+        self.cache.remove(PageKey::new(ino, index));
+        self.invalidate(b);
+        Ok(())
     }
 
     /// Full-filesystem consistency check (fsck): verifies that

@@ -3,7 +3,8 @@
 # has no external dependencies, so no registry access is needed).
 #
 #   fmt --check  →  clippy -D warnings  →  xtask lint  →  cargo test
-#   →  repro_all smoke (tiny scale, 2 jobs)
+#   →  fault matrix (pinned seed)  →  oracle sabotage localization
+#   →  trace compile-out check  →  repro_all smoke (tiny scale, 2 jobs)
 #
 # Each step must pass before the next runs; the script exits non-zero
 # on the first failure.
@@ -28,6 +29,18 @@ echo "==> fault matrix (fixed seed)"
 # pinned seed. CI runs a second pass with a rotating (but logged) seed;
 # replay any failure with the printed DUET_FAULT_SEED / DUET_FAULT_PLAN.
 DUET_FAULT_SEED=0xd0e7f457 cargo test -q -p experiments --test fault_matrix
+
+echo "==> oracle sabotage localization smoke (pinned seed)"
+# The trace-armed oracle must *localize* each task's deliberate defect
+# (name the divergent effect, entity and originating site), not merely
+# detect it; the seeds are pinned inside the test.
+cargo test -q -p experiments --test localize
+
+echo "==> trace plane compiles out cleanly"
+# With the `trace` feature off every hook must vanish: the stack still
+# builds and the localizer degrades to the digest comparison.
+cargo check -q -p experiments --no-default-features
+cargo test -q -p experiments --no-default-features --test localize
 
 echo "==> repro_all smoke (DUET_SCALE=512 DUET_JOBS=2, time-bounded)"
 cargo build -q --release -p bench --bin repro_all

@@ -4,8 +4,10 @@
 //! (`cargo run -p xtask -- lint`) exist to protect.
 
 use duet_repro::experiments::{
-    paper_scaled, run_experiment, run_rsync_experiment, ExperimentResult, TaskKind,
+    paper_scaled, run_experiment, run_experiment_traced, run_rsync_experiment, ExperimentResult,
+    TaskKind,
 };
+use duet_repro::sim_core::trace::TraceHandle;
 use duet_repro::workloads::{DistKind, Personality};
 
 /// Serializes every observable field of a result, exactly. Floats are
@@ -98,6 +100,49 @@ fn baseline_preset_is_byte_identical_across_runs() {
     let first = golden_csv(&run_experiment(&cfg()).expect("first run"));
     let second = golden_csv(&run_experiment(&cfg()).expect("second run"));
     assert_eq!(first, second, "baseline run is not deterministic");
+}
+
+/// Tracing is pure observation: arming a handle must not perturb the
+/// simulation (same golden CSV as an untraced run), and the trace
+/// itself — the JSONL event stream and the aggregated counters — must
+/// replay byte-identically across consecutive runs.
+#[test]
+fn traced_run_is_byte_identical_and_does_not_perturb_results() {
+    let cfg = || {
+        let mut c = paper_scaled(
+            512,
+            Personality::WebServer,
+            DistKind::Uniform,
+            1.0,
+            0.4,
+            vec![TaskKind::Scrub, TaskKind::Backup],
+            true,
+        );
+        c.seed = 7;
+        c
+    };
+    let plain = golden_csv(&run_experiment(&cfg()).expect("untraced run"));
+    let traced = || {
+        let t = TraceHandle::with_default_capacity();
+        let r = run_experiment_traced(&cfg(), Some(&t)).expect("traced run");
+        (
+            golden_csv(&r),
+            t.dump_jsonl(),
+            format!("{:?}", t.counters()),
+        )
+    };
+    let first = traced();
+    let second = traced();
+    assert_eq!(first, second, "traced run is not deterministic");
+    assert_eq!(first.0, plain, "tracing perturbed the simulation");
+    if TraceHandle::compiled_in() {
+        assert!(
+            !first.1.is_empty() && first.1.lines().count() > 16,
+            "a traced window this busy must produce events"
+        );
+    } else {
+        assert!(first.1.is_empty(), "compiled-out tracing must be silent");
+    }
 }
 
 /// Rsync drives two filesystems plus the residency priority queue; its
