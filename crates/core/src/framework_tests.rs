@@ -2,8 +2,8 @@
 
 use crate::events::{EventMask, ItemFlags};
 use crate::framework::{Duet, DuetConfig};
-use crate::fs_view::FsIntrospect;
 use crate::session::{ItemId, TaskScope};
+use sim_cache::FsIntrospect;
 use sim_cache::{PageEvent, PageKey, PageMeta};
 use sim_core::{BlockNr, DeviceId, InodeNr, PageIndex, SimError};
 use std::collections::HashMap;

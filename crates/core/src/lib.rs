@@ -58,17 +58,19 @@
 pub mod descriptor;
 pub mod events;
 pub mod framework;
-pub mod fs_view;
 pub mod hints;
 pub mod prioqueue;
 pub mod session;
 
 pub use events::{EventMask, ItemFlags};
 pub use framework::{Duet, DuetConfig, DuetStats};
-pub use fs_view::FsIntrospect;
+// The trait lives in `sim_cache::introspect` (below the filesystems
+// that implement it — see lint L1); the framework-facing name stays
+// `duet::FsIntrospect`.
 pub use hints::{Priority, ResidencyTracker};
 pub use prioqueue::PrioQueue;
 pub use session::{Item, ItemId, SessionId, TaskScope};
+pub use sim_cache::FsIntrospect;
 
 #[cfg(test)]
 mod framework_tests;

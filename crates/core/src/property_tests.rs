@@ -15,8 +15,8 @@
 
 use crate::events::{EventMask, ItemFlags};
 use crate::framework::Duet;
-use crate::fs_view::FsIntrospect;
 use crate::session::TaskScope;
+use sim_cache::FsIntrospect;
 use sim_cache::{PageEvent, PageKey, PageMeta};
 use sim_core::check::{forall, CheckConfig};
 use sim_core::{BlockNr, DeviceId, InodeNr, PageIndex, SimRng};

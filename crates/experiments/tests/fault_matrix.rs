@@ -16,7 +16,7 @@
 //! ```
 
 use experiments::oracle::{check_pair, check_pair_with, exercise_error_vocabulary, OracleTask};
-use sim_core::fault::{seed_from_env, FaultPlan, FaultSite};
+use sim_core::fault::{seed_from_env, FaultHandle, FaultPlan, FaultSite};
 use sim_core::SimError;
 
 const DEFAULT_SEED: u64 = 0xD0E7_F457;
@@ -85,6 +85,76 @@ fn sabotaged_task_is_caught_with_replay_line() {
         );
         assert!(err.contains("DUET_FAULT_PLAN="), "{err}");
     }
+}
+
+/// Solo rows: every plan-driven fault site is exercised in isolation
+/// at an aggressive rate and must (a) actually fire and (b) keep Duet
+/// equivalent to baseline. The preset grid mixes sites, so a silently
+/// disconnected hook could hide behind a noisy plan; a solo plan
+/// cannot. These are also the per-site registry rows the F2 lint pass
+/// checks for.
+#[test]
+fn every_fault_site_fires_and_matches_in_isolation() {
+    let seed = seed();
+    // `ApiChaos` is deliberately absent: it drives the API-misuse
+    // exerciser rather than the task path (its row is
+    // `api_chaos_drives_the_error_vocabulary` below).
+    let solo: &[(FaultSite, u32)] = &[
+        (FaultSite::DiskTransientIo, 150_000),
+        (FaultSite::DiskLatencySpike, 250_000),
+        // Latent corruption only triggers on write-path runs and
+        // exhaustion only on the single `register` call per run, so
+        // both need (near-)certain rates to fire their few draws.
+        (FaultSite::DiskLatentError, 1_000_000),
+        (FaultSite::CacheEvictionStorm, 200_000),
+        (FaultSite::CacheWritebackFail, 200_000),
+        (FaultSite::DuetSessionExhaustion, 1_000_000),
+        (FaultSite::DuetPathUnavailable, 500_000),
+        (FaultSite::DuetSessionChurn, 250_000),
+    ];
+    let mut failures = Vec::new();
+    for &(site, ppm) in solo {
+        let plan = FaultPlan::quiet().with_ppm(site, ppm);
+        let mut fired = 0u64;
+        for task in OracleTask::ALL {
+            match check_pair(task, seed, &plan) {
+                Ok(report) => fired += report.faults_fired,
+                Err(e) => failures.push(format!("[{} × {}]\n{e}", site.label(), task.name())),
+            }
+            // One matching, firing cell is a sufficient row; the preset
+            // grid already crosses every task with mixed plans.
+            if fired > 0 {
+                break;
+            }
+        }
+        if fired == 0 {
+            failures.push(format!(
+                "[{}] solo plan fired no faults in any task — hook disconnected?",
+                site.label()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} solo row(s) failed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// `ApiChaos`'s solo row: the site sits on the API-misuse exerciser
+/// rather than the task path, so its check is that a full-rate chaos
+/// stream is connected and productive (`error_vocabulary_is_complete`
+/// asserts the full error coverage).
+#[test]
+fn api_chaos_drives_the_error_vocabulary() {
+    let plan = FaultPlan::quiet().with_ppm(FaultSite::ApiChaos, 1_000_000);
+    let chaos = FaultHandle::new(seed(), plan);
+    assert!(
+        chaos.fire(FaultSite::ApiChaos),
+        "full-rate ApiChaos must fire"
+    );
+    assert!(!exercise_error_vocabulary(seed()).is_empty());
 }
 
 /// Every error variant in the vocabulary is constructible via an

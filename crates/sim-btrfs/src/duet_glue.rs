@@ -5,7 +5,7 @@
 //! [`FsIntrospect`] interface directly.
 
 use crate::fs::BtrfsSim;
-use duet::FsIntrospect;
+use sim_cache::FsIntrospect;
 use sim_cache::PageMeta;
 use sim_core::{BlockNr, DeviceId, InodeNr, PageIndex};
 

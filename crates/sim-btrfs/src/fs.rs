@@ -394,6 +394,7 @@ impl BtrfsSim {
                     if let Some(faults) = self.faults.clone() {
                         if faults.fire(FaultSite::DiskLatentError) {
                             let off = faults.amplitude(FaultSite::DiskLatentError, 0, run.len);
+                            // lint: allow(E1): corrupting an unmapped block is a no-op by design
                             let _ = self.blocks.inject_corruption(run.start.offset(off));
                         }
                     }

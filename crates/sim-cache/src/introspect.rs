@@ -5,8 +5,17 @@
 //! for file-page → block translation (§4). The framework is
 //! filesystem-agnostic, so those touchpoints are expressed as a trait
 //! that each simulated filesystem implements.
+//!
+//! The trait lives here — in the page-cache layer, below the
+//! filesystems — rather than in the `duet` framework crate, because the
+//! implementors (`sim-btrfs`, `sim-f2fs`) sit *below* `duet` in the
+//! crate stack: the orphan rule requires trait or type to be local, and
+//! a filesystem crate importing `duet` would invert the layering (lint
+//! L1). Everything the trait mentions is already at this layer:
+//! [`PageMeta`] plus `sim-core` identifiers. The framework re-exports
+//! it as `duet::FsIntrospect`.
 
-use sim_cache::PageMeta;
+use crate::PageMeta;
 use sim_core::{BlockNr, DeviceId, InodeNr, PageIndex};
 
 /// Read-only filesystem facilities the Duet framework consumes.

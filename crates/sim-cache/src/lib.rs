@@ -15,7 +15,9 @@
 //!   involved so the filesystem can charge the corresponding requests.
 
 pub mod cache;
+pub mod introspect;
 pub mod page;
 
 pub use cache::{CacheStats, PageCache};
+pub use introspect::FsIntrospect;
 pub use page::{PageEvent, PageKey, PageMeta};

@@ -1,7 +1,7 @@
 //! Duet introspection hooks for the F2fs model.
 
 use crate::fs::F2fsSim;
-use duet::FsIntrospect;
+use sim_cache::FsIntrospect;
 use sim_cache::PageMeta;
 use sim_core::{BlockNr, DeviceId, InodeNr, PageIndex};
 

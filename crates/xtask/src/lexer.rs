@@ -8,6 +8,11 @@
 //! handle the parts that would otherwise produce false positives:
 //! line and (nested) block comments, string literals, raw strings,
 //! byte strings, char literals vs. lifetimes, and raw identifiers.
+//!
+//! String-literal tokens additionally carry their inner content in
+//! [`Token::literal`]: the span/fault passes need to read kind strings
+//! (`"scrub.verify"`) and site labels out of otherwise-opaque literals
+//! without ever letting that content match token-level rule patterns.
 
 /// One significant token.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,8 +21,24 @@ pub struct Token {
     /// character is its own one-char token; literals collapse to `"&str"`
     /// / `'c'` placeholders so rule patterns can never match inside them.
     pub text: String,
-    /// 1-based source line.
+    /// 1-based source line the token *starts* on (multi-line strings
+    /// are stamped with their opening quote's line).
     pub line: u32,
+    /// For string-literal tokens only: the literal's inner content,
+    /// with the common escapes (`\"`, `\\`, `\n`, `\r`, `\t`, `\0`)
+    /// resolved; raw strings are carried verbatim. `None` for every
+    /// other token.
+    pub literal: Option<String>,
+}
+
+impl Token {
+    fn plain(text: impl Into<String>, line: u32) -> Token {
+        Token {
+            text: text.into(),
+            line,
+            literal: None,
+        }
+    }
 }
 
 /// A comment, kept separately for waiver detection.
@@ -96,19 +117,31 @@ pub fn lex(src: &str) -> Lexed {
                 i = j;
             }
             '"' => {
-                i = skip_string(&b, i, &mut line);
+                let tok_line = line;
+                let (end, content) = scan_plain_string(&b, i, &mut line);
+                i = end;
                 out.tokens.push(Token {
                     text: "\"&str\"".into(),
-                    line,
+                    line: tok_line,
+                    literal: Some(content),
                 });
             }
             'r' | 'b' if is_raw_or_byte_string(&b, i) => {
                 let tok_line = line;
-                i = skip_raw_or_byte_string(&b, i, &mut line);
-                out.tokens.push(Token {
-                    text: "\"&str\"".into(),
-                    line: tok_line,
-                });
+                match scan_raw_or_byte(&b, i, &mut line) {
+                    RawScan::Str { end, content } => {
+                        i = end;
+                        out.tokens.push(Token {
+                            text: "\"&str\"".into(),
+                            line: tok_line,
+                            literal: Some(content),
+                        });
+                    }
+                    RawScan::ByteChar { end } => {
+                        i = end;
+                        out.tokens.push(Token::plain("'c'", tok_line));
+                    }
+                }
             }
             '\'' => {
                 // Lifetime (`'a`) or char literal (`'a'`, `'\n'`)?
@@ -117,17 +150,12 @@ pub fn lex(src: &str) -> Lexed {
                     while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
                         j += 1;
                     }
-                    out.tokens.push(Token {
-                        text: b[i..j].iter().collect(),
-                        line,
-                    });
+                    out.tokens
+                        .push(Token::plain(b[i..j].iter().collect::<String>(), line));
                     i = j;
                 } else {
                     i = skip_char_literal(&b, i);
-                    out.tokens.push(Token {
-                        text: "'c'".into(),
-                        line,
-                    });
+                    out.tokens.push(Token::plain("'c'", line));
                 }
             }
             c if c.is_alphanumeric() || c == '_' => {
@@ -150,14 +178,11 @@ pub fn lex(src: &str) -> Lexed {
                     text = b[j + 1..k].iter().collect();
                     j = k;
                 }
-                out.tokens.push(Token { text, line });
+                out.tokens.push(Token::plain(text, line));
                 i = j;
             }
             _ => {
-                out.tokens.push(Token {
-                    text: c.to_string(),
-                    line,
-                });
+                out.tokens.push(Token::plain(c.to_string(), line));
                 i += 1;
             }
         }
@@ -165,25 +190,49 @@ pub fn lex(src: &str) -> Lexed {
     out
 }
 
-/// Past-the-end index of a `"..."` string starting at `i`.
-fn skip_string(b: &[char], i: usize, line: &mut u32) -> usize {
+/// Scans the `"..."` string starting at `i`; returns the past-the-end
+/// index and the content with common escapes resolved.
+fn scan_plain_string(b: &[char], i: usize, line: &mut u32) -> (usize, String) {
+    let mut content = String::new();
     let mut j = i + 1;
     while j < b.len() {
         match b[j] {
-            '\\' => j += 2,
+            '\\' => {
+                if j + 1 < b.len() {
+                    content.push(unescape(b[j + 1]));
+                    if b[j + 1] == '\n' {
+                        *line += 1;
+                    }
+                }
+                j += 2;
+            }
             '\n' => {
                 *line += 1;
+                content.push('\n');
                 j += 1;
             }
-            '"' => return j + 1,
-            _ => j += 1,
+            '"' => return (j + 1, content),
+            c => {
+                content.push(c);
+                j += 1;
+            }
         }
     }
-    j
+    (j, content)
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        '0' => '\0',
+        other => other, // `\"`, `\\`, `\'` and anything exotic: keep as-is
+    }
 }
 
 /// Is the `r`/`b` at `i` the start of a raw/byte string (`r"`, `r#"`,
-/// `b"`, `br"`, `rb...` variants)?
+/// `b"`, `br"` variants) or a byte char (`b'x'`)?
 fn is_raw_or_byte_string(b: &[char], i: usize) -> bool {
     let mut j = i;
     // Up to two prefix letters out of {r, b}.
@@ -203,8 +252,16 @@ fn is_raw_or_byte_string(b: &[char], i: usize) -> bool {
     quote && (hashed || letters > 0) || byte_char
 }
 
-/// Past-the-end index of the raw/byte string (or byte char) at `i`.
-fn skip_raw_or_byte_string(b: &[char], i: usize, line: &mut u32) -> usize {
+/// Outcome of scanning a raw/byte string or byte char at `i`.
+enum RawScan {
+    /// A (raw/byte) string literal with its inner content.
+    Str { end: usize, content: String },
+    /// A `b'x'` byte char (reported as a char token, not a string).
+    ByteChar { end: usize },
+}
+
+/// Scans the raw/byte string (or byte char) at `i`.
+fn scan_raw_or_byte(b: &[char], i: usize, line: &mut u32) -> RawScan {
     let mut j = i;
     while j < b.len() && (b[j] == 'r' || b[j] == 'b') {
         j += 1;
@@ -215,20 +272,37 @@ fn skip_raw_or_byte_string(b: &[char], i: usize, line: &mut u32) -> usize {
         j += 1;
     }
     if j < b.len() && b[j] == '\'' {
-        return skip_char_literal(b, j);
+        return RawScan::ByteChar {
+            end: skip_char_literal(b, j),
+        };
     }
     if j >= b.len() || b[j] != '"' {
-        return j;
+        return RawScan::Str {
+            end: j,
+            content: String::new(),
+        };
     }
     j += 1; // opening quote
-    let raw = hashes > 0 || b[i] == 'r' || (b[i] == 'b' && b[i + 1] == 'r');
+            // Raw strings (`r...`, any hashed form) take no escapes; a plain
+            // `b"..."` byte string does.
+    let raw = hashes > 0 || b[i] == 'r' || (i + 1 < b.len() && b[i] == 'b' && b[i + 1] == 'r');
+    let mut content = String::new();
     while j < b.len() {
         match b[j] {
             '\n' => {
                 *line += 1;
+                content.push('\n');
                 j += 1;
             }
-            '\\' if !raw => j += 2,
+            '\\' if !raw => {
+                if j + 1 < b.len() {
+                    content.push(unescape(b[j + 1]));
+                    if b[j + 1] == '\n' {
+                        *line += 1;
+                    }
+                }
+                j += 2;
+            }
             '"' => {
                 let mut k = j + 1;
                 let mut seen = 0;
@@ -237,14 +311,18 @@ fn skip_raw_or_byte_string(b: &[char], i: usize, line: &mut u32) -> usize {
                     seen += 1;
                 }
                 if seen == hashes {
-                    return k;
+                    return RawScan::Str { end: k, content };
                 }
+                content.push('"');
                 j += 1;
             }
-            _ => j += 1,
+            c => {
+                content.push(c);
+                j += 1;
+            }
         }
     }
-    j
+    RawScan::Str { end: j, content }
 }
 
 /// Is the `'` at `i` a lifetime rather than a char literal?
@@ -286,6 +364,10 @@ mod tests {
         lex(src).tokens.into_iter().map(|t| t.text).collect()
     }
 
+    fn literals(src: &str) -> Vec<Option<String>> {
+        lex(src).tokens.into_iter().map(|t| t.literal).collect()
+    }
+
     #[test]
     fn idents_and_punct() {
         assert_eq!(
@@ -311,6 +393,19 @@ mod tests {
     }
 
     #[test]
+    fn string_tokens_carry_content() {
+        let lits = literals(r#"t.tick(TraceLayer::Cache, "writeback.fail");"#);
+        assert!(lits.contains(&Some("writeback.fail".to_string())));
+        // Raw strings carry their content verbatim, escapes untouched.
+        let lits = literals(r##"let s = r#"a\n"b""#;"##);
+        assert_eq!(lits.last().cloned().flatten(), None); // `;` is last
+        assert!(lits.contains(&Some("a\\n\"b\"".to_string())));
+        // Plain strings resolve the common escapes.
+        let lits = literals(r#"let s = "a\n\"b\"";"#);
+        assert!(lits.contains(&Some("a\n\"b\"".to_string())));
+    }
+
+    #[test]
     fn chars_and_lifetimes() {
         assert_eq!(
             texts("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }"),
@@ -318,6 +413,16 @@ mod tests {
                 "fn", "f", "<", "'a", ">", "(", "x", ":", "&", "'a", "str", ")", "{", "let", "c",
                 "=", "'c'", ";", "let", "e", "=", "'c'", ";", "}"
             ]
+        );
+    }
+
+    #[test]
+    fn byte_char_is_a_char_not_a_string() {
+        // Regression: `b'"'` used to lex as a string placeholder; the
+        // quote inside must not open a string either.
+        assert_eq!(
+            texts("let x = b'\"'; let y = foo();"),
+            vec!["let", "x", "=", "'c'", ";", "let", "y", "=", "foo", "(", ")", ";"]
         );
     }
 
@@ -341,12 +446,41 @@ mod tests {
     }
 
     #[test]
+    fn deeply_nested_comment_hides_rule_tokens() {
+        assert_eq!(
+            texts("/* outer /* HashMap unwrap() /* deeper */ */ Instant::now() */ let x = 1;"),
+            vec!["let", "x", "=", "1", ";"]
+        );
+    }
+
+    #[test]
     fn line_numbers_track_newlines() {
         let l = lex("a\nb\n\"multi\nline\"\nc");
         let lines: Vec<(String, u32)> = l.tokens.into_iter().map(|t| (t.text, t.line)).collect();
         assert_eq!(lines[0], ("a".into(), 1));
         assert_eq!(lines[1], ("b".into(), 2));
+        // Regression: the string token is stamped with its *opening*
+        // line (it used to get the closing line).
+        assert_eq!(lines[2], ("\"&str\"".into(), 3));
         assert_eq!(lines[3], ("c".into(), 5));
+    }
+
+    #[test]
+    fn raw_string_line_numbers_track_newlines() {
+        let l = lex("a\nr#\"x\ny\"#\nb");
+        let lines: Vec<(String, u32)> = l.tokens.into_iter().map(|t| (t.text, t.line)).collect();
+        assert_eq!(lines[1], ("\"&str\"".into(), 2));
+        assert_eq!(lines[2], ("b".into(), 4));
+    }
+
+    #[test]
+    fn raw_string_hash_imbalance_does_not_bleed() {
+        // `"#` inside an r##-string must not close it; the tail after
+        // the real terminator lexes normally.
+        assert_eq!(
+            texts("let s = r##\"a \"# b unwrap()\"##; done();"),
+            vec!["let", "s", "=", "\"&str\"", ";", "done", "(", ")", ";"]
+        );
     }
 
     #[test]

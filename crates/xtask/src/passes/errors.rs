@@ -1,0 +1,159 @@
+//! E1 — discarded-`SimResult` detection.
+//!
+//! Two discard shapes are flagged, both resolved against the symbol
+//! table of functions whose declared return type mentions `SimResult`:
+//!
+//! - `let _ = …fallible(…);` — the *last* top-level call in the
+//!   initializer decides the expression's type, so that is the call
+//!   checked (`a.f().g()` checks `g`).
+//! - statement-form `…fallible(…).ok();` — `.ok()` maps the error to
+//!   `None` and the statement drops it. Bound forms
+//!   (`let r = f().ok();`) and value forms (`return f().ok();`) keep
+//!   the `Option` alive and are not flagged.
+//!
+//! Macro calls (`writeln!(…)`) are never flagged: the ident is followed
+//! by `!`, not `(`. Both checks are name-based, so a local `fn frob()`
+//! returning `SimResult` anywhere in the workspace makes every
+//! discarded `frob()` call a finding — a deliberately conservative
+//! over-approximation for a codebase with one shared error type.
+
+use crate::lexer::Token;
+use crate::rules::Rule;
+use std::collections::BTreeSet;
+
+/// Raw findings over one token stream: `(index, rule, token, message)`.
+pub fn find(t: &[Token], simresult_fns: &BTreeSet<String>) -> Vec<(usize, Rule, String, String)> {
+    let mut raw = Vec::new();
+    let tok = |i: usize| t.get(i).map(|x| x.text.as_str()).unwrap_or("");
+
+    for i in 0..t.len() {
+        // `let _ = <expr> ;`
+        if t[i].text == "let" && tok(i + 1) == "_" && tok(i + 2) == "=" {
+            let mut depth = 0usize;
+            let mut j = i + 3;
+            let mut calls: Vec<usize> = Vec::new();
+            while j < t.len() {
+                match t[j].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                    ";" if depth == 0 => break,
+                    s if depth == 0 && tok(j + 1) == "(" && is_ident(s) => calls.push(j),
+                    _ => {}
+                }
+                j += 1;
+            }
+            // The last top-level call decides the type; `.ok()`/`.err()`
+            // are transparent — they still discard the error.
+            let last_call = calls
+                .into_iter()
+                .rev()
+                .find(|&c| !matches!(t[c].text.as_str(), "ok" | "err"));
+            if let Some(c) = last_call {
+                let name = &t[c].text;
+                if simresult_fns.contains(name.as_str()) {
+                    raw.push((
+                        i,
+                        Rule::E1,
+                        format!("let _ = {name}"),
+                        format!(
+                            "`let _ =` discards the `SimResult` from `{name}` — handle or \
+                             propagate it, or waive with `// lint: allow(E1): reason`"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // statement-form `….ok();` — the receiver must be a call whose
+        // callee returns SimResult, and the statement must not bind or
+        // return the resulting Option.
+        if t[i].text == "."
+            && tok(i + 1) == "ok"
+            && tok(i + 2) == "("
+            && tok(i + 3) == ")"
+            && tok(i + 4) == ";"
+            && i > 0
+            && t[i - 1].text == ")"
+        {
+            let Some(callee) = call_ident_before(t, i - 1) else {
+                continue;
+            };
+            let name = &t[callee].text;
+            if !simresult_fns.contains(name.as_str()) {
+                continue;
+            }
+            if statement_binds_value(t, i) {
+                continue;
+            }
+            raw.push((
+                i + 1,
+                Rule::E1,
+                format!("{name}().ok()"),
+                format!(
+                    "statement-form `.ok()` discards the `SimResult` from `{name}` — handle \
+                     or propagate it, or waive with `// lint: allow(E1): reason`"
+                ),
+            ));
+        }
+    }
+    raw
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().all(|c| c.is_alphanumeric() || c == '_')
+        && !s.chars().next().is_some_and(|c| c.is_ascii_digit())
+}
+
+/// `close` indexes a `)`; walks back across the matching `(` and
+/// returns the index of the call ident just before it, if any.
+fn call_ident_before(t: &[Token], close: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut k = close;
+    loop {
+        match t[k].text.as_str() {
+            ")" | "]" | "}" => depth += 1,
+            "(" | "[" | "{" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        k = k.checked_sub(1)?;
+    }
+    let ident = k.checked_sub(1)?;
+    is_ident(&t[ident].text).then_some(ident)
+}
+
+/// Walks back from token `at` to the start of its statement and
+/// reports whether the statement binds or returns the value
+/// (`let r = …` / `return …`), in which case the `.ok()` result is not
+/// discarded.
+fn statement_binds_value(t: &[Token], at: usize) -> bool {
+    let mut depth = 0usize;
+    let mut k = at;
+    let start = loop {
+        if k == 0 {
+            break 0;
+        }
+        k -= 1;
+        match t[k].text.as_str() {
+            ")" | "]" | "}" => depth += 1,
+            "(" | "[" => depth = depth.saturating_sub(1),
+            "{" => {
+                if depth == 0 {
+                    break k + 1;
+                }
+                depth -= 1;
+            }
+            ";" if depth == 0 => break k + 1,
+            _ => {}
+        }
+    };
+    matches!(
+        t.get(start).map(|x| x.text.as_str()),
+        Some("let") | Some("return")
+    )
+}

@@ -1,0 +1,11 @@
+//! The analysis passes. Each pass is a pure function over the lexed
+//! token stream of one file (token rules, S1, E1) or over the shared
+//! [`crate::model::WorkspaceModel`] (L1, S2 registry drift, F1/F2);
+//! the driver in [`crate::rules`] owns test-code exemption, waiver
+//! application and the W1 staleness audit.
+
+pub mod errors;
+pub mod faults;
+pub mod layering;
+pub mod spans;
+pub mod tokens;

@@ -1,0 +1,86 @@
+//! Index-keyed parallel execution for the analyzer's per-file work.
+//!
+//! Same pattern as `bench::pool` (the workspace's sanctioned design for
+//! determinism-preserving parallelism): workers pull indices from a
+//! shared cursor, write results into a slot keyed by the index, and the
+//! caller receives them in input order — so the analyzer's output is
+//! byte-identical at any worker count, including 1. `xtask` cannot
+//! depend on `bench` (the linter sits outside the crate layering it
+//! enforces), so the ~40 lines are restated here rather than imported.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count: `DUET_JOBS` if set (minimum 1), else the machine's
+/// available parallelism, else 1.
+pub fn jobs() -> usize {
+    if let Some(j) = std::env::var("DUET_JOBS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        return j.max(1);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f(0..n)` on up to `jobs` workers and returns the results in
+/// index order. `f` must be pure with respect to index order (lexing a
+/// file is); the output is then identical at any `jobs`.
+pub fn run_indexed<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let width = jobs.max(1).min(n);
+    if width <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..width {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                match slots.lock() {
+                    Ok(mut guard) => guard[i] = Some(r),
+                    // A sibling panicked while holding the lock; stop
+                    // pulling work (the scope propagates the panic).
+                    Err(_) => break,
+                }
+            });
+        }
+    });
+    let collected = match slots.into_inner() {
+        Ok(v) => v,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    collected
+        .into_iter()
+        .map(|slot| slot.expect("pool worker dropped a slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_index_order_at_any_width() {
+        let sequential: Vec<usize> = (0..53).map(|i| i * 7).collect();
+        for jobs in [1, 2, 4, 9] {
+            assert_eq!(run_indexed(53, jobs, |i| i * 7), sequential, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, 4, |i| i + 1), vec![1]);
+    }
+}

@@ -1,0 +1,27 @@
+pub fn might_fail() -> SimResult<()> {
+    Ok(())
+}
+
+// Two E1 shapes: `let _ =` and statement-form `.ok()`.
+pub fn discards() {
+    let _ = might_fail();
+    might_fail().ok();
+}
+
+// `.ok()`/`.err()` are transparent: this still discards the error.
+pub fn transparent() {
+    let _ = might_fail().ok();
+}
+
+// Bound and propagated forms keep the value alive — not flagged.
+pub fn keeps() -> SimResult<()> {
+    let kept = might_fail().ok();
+    drop(kept);
+    might_fail()
+}
+
+pub fn waived() {
+    // lint: allow(E1): fixture — deliberate best-effort discard
+    let _ = might_fail();
+    might_fail().ok(); // lint: allow(E1): fixture — deliberate best-effort discard
+}

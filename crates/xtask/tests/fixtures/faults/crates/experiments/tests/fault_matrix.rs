@@ -1,0 +1,7 @@
+// The F2 row registry: a site counts as covered when its variant name
+// or its label literal appears here.
+#[test]
+fn rows() {
+    let _by_variant = [FaultSite::Hooked, FaultSite::Unpresetted];
+    let _by_label = ["unhooked-site"];
+}

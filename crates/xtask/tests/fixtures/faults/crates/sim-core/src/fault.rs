@@ -1,0 +1,39 @@
+//! Fault-site registry fixture: one variant per F1/F2 failure mode.
+
+pub enum FaultSite {
+    /// Hook + preset + matrix row: clean.
+    Hooked,
+    /// No `fire(...)` hook anywhere: F1 (hook).
+    Unhooked,
+    /// Absent from every preset: F1 (preset).
+    Unpresetted,
+    /// No fault-matrix row: F2.
+    Unmatrixed,
+    // lint: allow(F1): fixture — site is wired up out of tree
+    WaivedSite, // lint: allow(F2): fixture — matrix coverage waived
+}
+
+impl FaultSite {
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::Hooked => "hooked-site",
+            FaultSite::Unhooked => "unhooked-site",
+            FaultSite::Unpresetted => "unpresetted-site",
+            FaultSite::Unmatrixed => "unmatrixed-site",
+            FaultSite::WaivedSite => "waived-site",
+        }
+    }
+}
+
+pub struct FaultPlan;
+
+impl FaultPlan {
+    pub fn preset(name: &str) -> Option<FaultPlan> {
+        let _ = name;
+        let plan = FaultPlan::quiet()
+            .with_ppm(FaultSite::Hooked, 10)
+            .with_ppm(FaultSite::Unhooked, 10)
+            .with_ppm(FaultSite::Unmatrixed, 10);
+        Some(plan)
+    }
+}

@@ -1,0 +1,6 @@
+// Injection hooks: every `fire(FaultSite::V)` here marks V as live.
+pub fn injure(h: &FaultHandle) {
+    h.fire(FaultSite::Hooked);
+    h.fire(FaultSite::Unpresetted);
+    h.fire(FaultSite::Unmatrixed);
+}

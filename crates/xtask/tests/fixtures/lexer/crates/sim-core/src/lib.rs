@@ -1,0 +1,14 @@
+// Lexer regression fixture: rule tokens inside literals and comments
+// must produce no findings. The one real violation at the bottom
+// proves the file is actually scanned.
+
+pub fn inert() -> &'static str {
+    /* outer /* Instant::now() SystemTime HashMap .unwrap() */ panic!() */
+    let bytes = b"std::time and thread::spawn stay inert in byte strings";
+    let _ = bytes;
+    r#"Instant SystemTime HashMap .unwrap() panic! thread::spawn"#
+}
+
+pub fn control(map: &BTreeMap<u32, u32>) -> u32 {
+    *map.get(&0).unwrap()
+}

@@ -1,0 +1,12 @@
+// lint: allow(D3): stale — nothing on the next line violates D3
+pub fn clean() {}
+
+// lint: allow(Q9): malformed — no such rule
+pub fn also_clean() {}
+
+#[cfg(test)]
+mod tests {
+    // lint: allow(D3): waivers inside test items are exempt from the audit
+    #[test]
+    fn nothing() {}
+}

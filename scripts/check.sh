@@ -18,7 +18,14 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo run -p xtask -- lint"
+echo "==> cargo run -p xtask -- lint (+ SARIF report)"
+# SARIF first (never gates — `|| true`), so CI can upload the findings
+# as an artifact even when the gating text run below fails. The two
+# runs see the same model and report identical findings at any
+# DUET_JOBS width.
+mkdir -p results
+cargo run -q -p xtask -- lint --format=sarif > results/lint.sarif || true
+test -s results/lint.sarif
 cargo run -q -p xtask -- lint
 
 echo "==> cargo test --workspace"
