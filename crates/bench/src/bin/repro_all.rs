@@ -24,17 +24,22 @@ struct Outcome {
     lines: Vec<String>,
     err: Option<String>,
     wall_ms: f64,
+    /// Simulated operations the harness credited to its sink (0 for
+    /// harnesses that do not run sweep cells).
+    ops: u64,
 }
 
 fn run_buffered(spec: &'static HarnessSpec, scale: u64) -> Outcome {
     let mut sink = Sink::buffer();
     let sw = Stopwatch::start();
     let err = (spec.run)(scale, &mut sink).err().map(|e| e.to_string());
+    let wall_ms = sw.elapsed_ns() as f64 / 1e6;
     Outcome {
         spec,
-        lines: sink.into_lines(),
         err,
-        wall_ms: sw.elapsed_ns() as f64 / 1e6,
+        wall_ms,
+        ops: sink.ops(),
+        lines: sink.into_lines(),
     }
 }
 
@@ -48,14 +53,17 @@ fn write_summary(
     // escaping.
     let mut s = String::new();
     s.push_str("{\n");
+    s.push_str("  \"schema_version\": 2,\n");
     s.push_str(&format!("  \"scale\": {scale},\n"));
     s.push_str(&format!("  \"jobs\": {jobs},\n"));
     s.push_str("  \"harnesses\": [\n");
     for (i, o) in outcomes.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"ok\": {}, \"wall_clock\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"ops\": {}, \"ok\": {}, \
+             \"wall_clock\": {}}}{}\n",
             o.spec.name,
             o.wall_ms,
+            o.ops,
             o.err.is_none(),
             o.spec.wall_clock,
             if i + 1 < outcomes.len() { "," } else { "" }
@@ -126,6 +134,7 @@ fn main() -> ExitCode {
             lines: Vec::new(),
             err,
             wall_ms: sw.elapsed_ns() as f64 / 1e6,
+            ops: sink.ops(),
         });
     }
     // Report in registry order regardless of execution order.

@@ -17,6 +17,9 @@ use crate::{f2, pool, BenchResult, Report, Sink};
 use experiments::{paper_scaled, run_experiment_cached_traced, ProfileCache, TaskKind};
 use workloads::{DistKind, Personality};
 
+/// Per-cell outcome: metric value, simulated ops, harvested counters.
+type CellOutcome = sim_core::SimResult<(f64, u64, Vec<(String, u64)>)>;
+
 /// Runs the harness at 1/`scale` of the paper setup.
 pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
     let util = 0.6;
@@ -50,21 +53,22 @@ pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
         .collect();
     let profiles = ProfileCache::new();
     let traced = trace::enabled();
-    let ran = pool::try_run_indexed(
-        cells.len(),
-        pool::jobs(),
-        |i| -> sim_core::SimResult<(f64, Vec<(String, u64)>)> {
-            let (task, personality, dist) = cells[i];
-            let cfg = paper_scaled(scale, personality, dist, 1.0, util, vec![task], true);
-            let handle = trace::cell(traced);
-            let saved = run_experiment_cached_traced(&cfg, &profiles, handle.as_ref())?.io_saved();
-            Ok((saved, trace::harvest(handle)))
-        },
-    )?;
+    let ran = pool::try_run_indexed(cells.len(), pool::jobs(), |i| -> CellOutcome {
+        let (task, personality, dist) = cells[i];
+        let cfg = paper_scaled(scale, personality, dist, 1.0, util, vec![task], true);
+        let handle = trace::cell(traced);
+        let result = run_experiment_cached_traced(&cfg, &profiles, handle.as_ref())?;
+        Ok((
+            result.io_saved(),
+            result.workload_ops,
+            trace::harvest(handle),
+        ))
+    })?;
     let mut traces = TraceAgg::new(traced);
     let saved: Vec<f64> = ran
         .into_iter()
-        .map(|(v, counters)| {
+        .map(|(v, ops, counters)| {
+            sink.add_ops(ops);
             traces.merge(counters);
             v
         })

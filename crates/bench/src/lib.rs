@@ -80,11 +80,24 @@ pub fn run_main(default_scale: u64, run: fn(u64, &mut Sink) -> BenchResult<()>) 
 }
 
 /// Console output sink. Harness binaries write straight to stdout
-/// (`Live`); the in-process `repro_all` gives each harness a `Buffer`
-/// and prints the captured lines in a fixed order afterwards, so
+/// (live); the in-process `repro_all` gives each harness a buffered
+/// sink and prints the captured lines in a fixed order afterwards, so
 /// parallel harnesses cannot interleave output.
+///
+/// The sink also carries a simulated-operation counter: sweep drivers
+/// call [`Sink::add_ops`] with each cell's `workload_ops`, and
+/// `repro_all` reads the per-harness total into
+/// `results/BENCH_sweeps.json`. Ops are simulated work — deterministic
+/// at every job count — so they give the perf gate a wall-clock-free
+/// denominator.
 #[derive(Debug)]
-pub enum Sink {
+pub struct Sink {
+    out: SinkOut,
+    ops: u64,
+}
+
+#[derive(Debug)]
+enum SinkOut {
     /// Print lines to stdout immediately.
     Live,
     /// Collect lines for later, ordered printing.
@@ -94,36 +107,52 @@ pub enum Sink {
 impl Sink {
     /// A sink that prints immediately.
     pub fn live() -> Sink {
-        Sink::Live
+        Sink {
+            out: SinkOut::Live,
+            ops: 0,
+        }
     }
 
     /// A sink that collects lines.
     pub fn buffer() -> Sink {
-        Sink::Buffer(Vec::new())
+        Sink {
+            out: SinkOut::Buffer(Vec::new()),
+            ops: 0,
+        }
     }
 
     /// Emits one line.
     pub fn line<S: Into<String>>(&mut self, s: S) {
-        match self {
-            Sink::Live => println!("{}", s.into()),
-            Sink::Buffer(lines) => lines.push(s.into()),
+        match &mut self.out {
+            SinkOut::Live => println!("{}", s.into()),
+            SinkOut::Buffer(lines) => lines.push(s.into()),
         }
     }
 
     /// The collected lines (empty for a live sink).
     pub fn lines(&self) -> &[String] {
-        match self {
-            Sink::Live => &[],
-            Sink::Buffer(lines) => lines,
+        match &self.out {
+            SinkOut::Live => &[],
+            SinkOut::Buffer(lines) => lines,
         }
     }
 
     /// Consumes the sink, returning collected lines.
     pub fn into_lines(self) -> Vec<String> {
-        match self {
-            Sink::Live => Vec::new(),
-            Sink::Buffer(lines) => lines,
+        match self.out {
+            SinkOut::Live => Vec::new(),
+            SinkOut::Buffer(lines) => lines,
         }
+    }
+
+    /// Credits `n` simulated operations to this sink's harness.
+    pub fn add_ops(&mut self, n: u64) {
+        self.ops += n;
+    }
+
+    /// Total simulated operations credited so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
     }
 }
 

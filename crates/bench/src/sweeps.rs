@@ -52,9 +52,10 @@ pub fn saved_cells(
     .0)
 }
 
-/// [`saved_cells`] plus the merged trace counters of every cell (empty
-/// unless `traced`). The aggregate is folded in cell-index order, so it
-/// is byte-identical at any worker count.
+/// [`saved_cells`] plus the summed `workload_ops` of every cell and the
+/// merged trace counters (empty unless `traced`). Both aggregates are
+/// folded in cell-index order, so they are byte-identical at any worker
+/// count.
 #[allow(clippy::too_many_arguments)]
 pub fn saved_cells_traced(
     scale: u64,
@@ -67,7 +68,7 @@ pub fn saved_cells_traced(
     fragmentation: Option<(f64, u64)>,
     jobs: usize,
     traced: bool,
-) -> SimResult<(Vec<Vec<f64>>, TraceAgg)> {
+) -> SimResult<(Vec<Vec<f64>>, u64, TraceAgg)> {
     let cells: Vec<(f64, f64)> = utils
         .iter()
         .flat_map(|&u| overlaps.iter().map(move |&o| (u, o)))
@@ -87,13 +88,19 @@ pub fn saved_cells_traced(
         cfg.device = device;
         cfg.fragmentation = fragmentation;
         let handle = trace::cell(traced);
-        let saved = run_experiment_cached_traced(&cfg, &profiles, handle.as_ref())?.io_saved();
-        Ok((saved, trace::harvest(handle)))
+        let result = run_experiment_cached_traced(&cfg, &profiles, handle.as_ref())?;
+        Ok((
+            result.io_saved(),
+            result.workload_ops,
+            trace::harvest(handle),
+        ))
     })?;
     let mut agg = TraceAgg::new(traced);
+    let mut ops = 0u64;
     let mut saved = Vec::with_capacity(ran.len());
-    for (v, counters) in ran {
+    for (v, cell_ops, counters) in ran {
         saved.push(v);
+        ops += cell_ops;
         agg.merge(counters);
     }
     Ok((
@@ -101,6 +108,7 @@ pub fn saved_cells_traced(
             .chunks(overlaps.len().max(1))
             .map(<[f64]>::to_vec)
             .collect(),
+        ops,
         agg,
     ))
 }
@@ -127,7 +135,7 @@ pub fn saved_sweep(
     let mut report = Report::new(name, &hdr_refs);
     report.print_header(sink);
     let utils = util_grid();
-    let (grid, traces) = saved_cells_traced(
+    let (grid, ops, traces) = saved_cells_traced(
         scale,
         device,
         personality,
@@ -139,6 +147,7 @@ pub fn saved_sweep(
         pool::jobs(),
         trace::enabled(),
     )?;
+    sink.add_ops(ops);
     for (util, saved) in utils.iter().zip(grid) {
         let mut row = vec![f2(*util)];
         row.extend(saved.iter().map(|&v| f2(v)));
@@ -162,8 +171,8 @@ pub fn completed_cells(
     Ok(completed_cells_traced(scale, personality, utils, tasks, fragmentation, jobs, false)?.0)
 }
 
-/// [`completed_cells`] plus the merged trace counters of every cell
-/// (empty unless `traced`).
+/// [`completed_cells`] plus the summed `workload_ops` of every cell and
+/// the merged trace counters (empty unless `traced`).
 pub fn completed_cells_traced(
     scale: u64,
     personality: Personality,
@@ -172,7 +181,7 @@ pub fn completed_cells_traced(
     fragmentation: Option<(f64, u64)>,
     jobs: usize,
     traced: bool,
-) -> SimResult<(Vec<Vec<f64>>, TraceAgg)> {
+) -> SimResult<(Vec<Vec<f64>>, u64, TraceAgg)> {
     let cells: Vec<(f64, bool)> = utils
         .iter()
         .flat_map(|&u| [false, true].into_iter().map(move |d| (u, d)))
@@ -191,16 +200,22 @@ pub fn completed_cells_traced(
         );
         cfg.fragmentation = fragmentation;
         let handle = trace::cell(traced);
-        let done = run_experiment_cached_traced(&cfg, &profiles, handle.as_ref())?.work_completed();
-        Ok((done, trace::harvest(handle)))
+        let result = run_experiment_cached_traced(&cfg, &profiles, handle.as_ref())?;
+        Ok((
+            result.work_completed(),
+            result.workload_ops,
+            trace::harvest(handle),
+        ))
     })?;
     let mut agg = TraceAgg::new(traced);
+    let mut ops = 0u64;
     let mut completed = Vec::with_capacity(ran.len());
-    for (v, counters) in ran {
+    for (v, cell_ops, counters) in ran {
         completed.push(v);
+        ops += cell_ops;
         agg.merge(counters);
     }
-    Ok((completed.chunks(2).map(<[f64]>::to_vec).collect(), agg))
+    Ok((completed.chunks(2).map(<[f64]>::to_vec).collect(), ops, agg))
 }
 
 /// Sweeps utilization and reports the work-completed fraction for
@@ -219,7 +234,7 @@ pub fn completed_sweep(
     );
     report.print_header(sink);
     let utils = util_grid();
-    let (grid, traces) = completed_cells_traced(
+    let (grid, ops, traces) = completed_cells_traced(
         scale,
         personality,
         &utils,
@@ -228,6 +243,7 @@ pub fn completed_sweep(
         pool::jobs(),
         trace::enabled(),
     )?;
+    sink.add_ops(ops);
     for (util, done) in utils.iter().zip(grid) {
         let mut row = vec![f2(*util)];
         row.extend(done.iter().map(|&v| f2(v)));

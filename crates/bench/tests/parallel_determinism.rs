@@ -22,6 +22,21 @@ fn bits(grid: &[Vec<f64>]) -> Vec<Vec<u64>> {
         .collect()
 }
 
+/// Renders a grid in the committed fixture format: one row per line,
+/// cells as hex `f64` bit patterns (the `dump_golden` serialization).
+fn grid_lines(grid: &[Vec<f64>]) -> String {
+    grid.iter()
+        .map(|row| {
+            row.iter()
+                .map(|v| format!("{:016x}", v.to_bits()))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
 fn render(grid: &[Vec<f64>], utils: &[f64]) -> Vec<String> {
     utils
         .iter()
@@ -66,6 +81,11 @@ fn saved_sweep_is_byte_identical_at_any_width() {
     );
     // And the grid is not degenerate: some cell saved some I/O.
     assert!(sequential.iter().flatten().any(|&v| v > 0.0));
+    // Both widths must also reproduce the committed fixture, so the
+    // grid is pinned across builds, not merely self-consistent.
+    let fixture = include_str!("fixtures/golden_saved_grid.txt");
+    assert_eq!(grid_lines(&sequential), fixture, "jobs=1 grid vs fixture");
+    assert_eq!(grid_lines(&parallel), fixture, "jobs=4 grid vs fixture");
 }
 
 #[test]
@@ -87,6 +107,9 @@ fn completed_sweep_is_byte_identical_at_any_width() {
     assert_eq!(bits(&sequential), bits(&parallel));
     assert_eq!(render(&sequential, &utils), render(&parallel, &utils));
     assert!(sequential.iter().flatten().any(|&v| v > 0.0));
+    let fixture = include_str!("fixtures/golden_completed_grid.txt");
+    assert_eq!(grid_lines(&sequential), fixture, "jobs=1 grid vs fixture");
+    assert_eq!(grid_lines(&parallel), fixture, "jobs=4 grid vs fixture");
 }
 
 /// The aggregated trace counters of a traced sweep must also be
@@ -97,7 +120,7 @@ fn traced_sweep_counters_are_byte_identical_at_any_width() {
     let utils = [0.2, 0.6];
     let overlaps = [1.0];
     let run = |jobs: usize| {
-        let (grid, agg) = saved_cells_traced(
+        let (grid, ops, agg) = saved_cells_traced(
             SCALE,
             DeviceKind::Hdd,
             Personality::WebServer,
@@ -111,14 +134,14 @@ fn traced_sweep_counters_are_byte_identical_at_any_width() {
         )
         .expect("sweep");
         let rows: Vec<(String, u64)> = agg.rows().map(|(k, n)| (k.to_string(), n)).collect();
-        (bits(&grid), rows)
+        (bits(&grid), ops, rows)
     };
     let sequential = run(1);
     let parallel = run(4);
     assert_eq!(sequential, parallel, "trace aggregate differs by width");
     if TraceHandle::compiled_in() {
         assert!(
-            !sequential.1.is_empty(),
+            !sequential.2.is_empty(),
             "a traced sweep must produce counters"
         );
     }

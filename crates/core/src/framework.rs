@@ -738,9 +738,10 @@ impl Duet {
         let rel = if base == "/" {
             full.trim_start_matches('/').to_string()
         } else {
-            full.strip_prefix(&base)
-                .map(|s| s.trim_start_matches('/').to_string())
-                .unwrap_or(full.clone())
+            match full.strip_prefix(&base) {
+                Some(s) => s.trim_start_matches('/').to_string(),
+                None => full,
+            }
         };
         Ok(rel)
     }

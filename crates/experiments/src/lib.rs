@@ -18,6 +18,7 @@
 //!   re-calibrating in every cell.
 
 pub mod config;
+pub mod golden;
 pub mod metrics;
 pub mod oracle;
 pub mod presets;

@@ -21,6 +21,7 @@
 //! simulated device costs a few dozen bytes per block instead of hash-map
 //! nodes.
 
+use sim_core::dmap::DSet;
 use sim_core::{BlockNr, InodeNr, PageIndex, SimError, SimResult};
 
 /// Back-reference from a block to the live file page it backs.
@@ -48,7 +49,7 @@ pub struct BlockTable {
     backref_ino: Vec<u64>,
     backref_idx: Vec<u64>,
     /// Blocks with injected silent corruption.
-    corrupted: std::collections::BTreeSet<u64>,
+    corrupted: DSet<u64>,
     /// Monotonic content-version source.
     next_version: u64,
 }
@@ -70,7 +71,7 @@ impl BlockTable {
             refcount: vec![0; n],
             backref_ino: vec![NO_BACKREF; n],
             backref_idx: vec![0; n],
-            corrupted: std::collections::BTreeSet::new(),
+            corrupted: DSet::new(),
             next_version: 1,
         }
     }

@@ -391,12 +391,14 @@ impl BtrfsSim {
                     // A latent error corrupts one block of the run as
                     // it lands; nothing notices until a later read or
                     // scrub verifies the checksum.
-                    if let Some(faults) = self.faults.clone() {
-                        if faults.fire(FaultSite::DiskLatentError) {
-                            let off = faults.amplitude(FaultSite::DiskLatentError, 0, run.len);
-                            // lint: allow(E1): corrupting an unmapped block is a no-op by design
-                            let _ = self.blocks.inject_corruption(run.start.offset(off));
-                        }
+                    let corrupt_off = self.faults.as_ref().and_then(|faults| {
+                        faults
+                            .fire(FaultSite::DiskLatentError)
+                            .then(|| faults.amplitude(FaultSite::DiskLatentError, 0, run.len))
+                    });
+                    if let Some(off) = corrupt_off {
+                        // lint: allow(E1): corrupting an unmapped block is a no-op by design
+                        let _ = self.blocks.inject_corruption(run.start.offset(off));
                     }
                 }
             }

@@ -12,11 +12,11 @@
 //! requests, then record the flush here.
 
 use crate::page::{PageEvent, PageKey, PageMeta};
+use sim_core::dmap::{DMap, DSet, Slab, NIL};
 use sim_core::fault::{FaultHandle, FaultSite};
 use sim_core::trace::{TraceHandle, TraceLayer};
 use sim_core::{BlockNr, InodeNr, PageIndex};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::ops::RangeInclusive;
+use std::collections::VecDeque;
 
 /// Cache hit/miss and traffic statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -33,11 +33,24 @@ pub struct CacheStats {
     pub writebacks: u64,
 }
 
+/// A resident page: cache state plus intrusive list links.
+///
+/// `prev`/`next` chain the global LRU list (head = least recently
+/// used); `dprev`/`dnext` chain the dirty sublist in the same recency
+/// order, replacing the old tick-keyed `BTreeMap` mirrors with O(1)
+/// splices. `ino_pos` is the page's position in its file's dense
+/// handle vector, kept current so removal is an O(1) swap-remove.
 #[derive(Debug, Clone, Copy)]
-struct Entry {
+struct Node {
+    key: PageKey,
     block: Option<BlockNr>,
     dirty: bool,
-    tick: u64,
+    prev: u32,
+    next: u32,
+    in_dirty: bool,
+    dprev: u32,
+    dnext: u32,
+    ino_pos: u32,
 }
 
 /// An LRU page cache with dirty tracking and an event queue.
@@ -58,28 +71,37 @@ struct Entry {
 #[derive(Debug)]
 pub struct PageCache {
     capacity: usize,
-    /// Ordered so scans (`iter`, `flush_file`, `remove_file`) visit
-    /// pages deterministically — their order reaches the event queue.
-    entries: BTreeMap<PageKey, Entry>,
-    /// LRU order: ascending tick = least recently used first.
-    lru: BTreeMap<u64, PageKey>,
-    /// Dirty subset of `lru`, same tick keys. Keeps `writeback_batch`
+    /// Backing store for resident pages; handles stay stable while a
+    /// page is resident, so the intrusive lists can link by `u32`.
+    slab: Slab<Node>,
+    /// O(1) page lookup: key → slab handle. Scans whose order reaches
+    /// the event queue (`iter`, `flush_file`, `remove_file`) sort a
+    /// snapshot instead, keeping the visiting order the B-tree cache
+    /// had.
+    index: DMap<PageKey, u32>,
+    /// Intrusive LRU list: head = least recently used. Touch is now an
+    /// O(1) splice instead of a B-tree remove + insert.
+    lru_head: u32,
+    lru_tail: u32,
+    /// Dirty sublist in the same recency order. Keeps `writeback_batch`
     /// proportional to the batch size instead of the cache size, and
-    /// makes the dirty-page count O(1); must mirror every dirty-bit and
-    /// tick transition of `entries`.
-    dirty_lru: BTreeMap<u64, PageKey>,
-    tick: u64,
+    /// makes the dirty-page count O(1); must mirror every dirty-bit
+    /// and recency transition of the nodes.
+    dirty_head: u32,
+    dirty_tail: u32,
+    dirty_count: usize,
     events: VecDeque<(PageMeta, PageEvent)>,
     stats: CacheStats,
-    /// Cached-page count per file, for O(1) residency queries.
-    per_ino: BTreeMap<InodeNr, usize>,
+    /// Cached-page handles per file, dense, for O(1) residency queries
+    /// and per-file scans proportional to the file, not the cache.
+    per_ino: DMap<InodeNr, Vec<u32>>,
     /// Pages deprioritized for eviction (informed replacement): pages
     /// whose Duet notifications have not been consumed yet. An
     /// *extension* beyond the paper, which names informed cache
     /// replacement as future work (§2). Protection is advisory — a
     /// protected page is still evicted when nothing else is available,
     /// so this never degenerates into pinning (which §3.1 avoids).
-    protected: BTreeSet<PageKey>,
+    protected: DSet<PageKey>,
     /// Fault-injection handle; `None` (or a quiet plan) behaves
     /// byte-identically to an unfaulted cache.
     faults: Option<FaultHandle>,
@@ -100,14 +122,17 @@ impl PageCache {
         assert!(capacity > 0, "page cache capacity must be positive");
         PageCache {
             capacity,
-            entries: BTreeMap::new(),
-            lru: BTreeMap::new(),
-            dirty_lru: BTreeMap::new(),
-            tick: 0,
+            slab: Slab::new(),
+            index: DMap::new(),
+            lru_head: NIL,
+            lru_tail: NIL,
+            dirty_head: NIL,
+            dirty_tail: NIL,
+            dirty_count: 0,
             events: VecDeque::new(),
             stats: CacheStats::default(),
-            per_ino: BTreeMap::new(),
-            protected: BTreeSet::new(),
+            per_ino: DMap::new(),
+            protected: DSet::new(),
             faults: None,
             trace: None,
         }
@@ -140,18 +165,104 @@ impl PageCache {
         self.protected.len()
     }
 
-    fn ino_inc(&mut self, ino: InodeNr) {
-        *self.per_ino.entry(ino).or_insert(0) += 1;
+    fn ino_track(&mut self, ino: InodeNr, h: u32) {
+        let v = self.per_ino.get_or_insert_with(ino, Vec::new);
+        let pos = v.len() as u32;
+        v.push(h);
+        self.slab[h].ino_pos = pos;
     }
 
-    fn ino_dec(&mut self, ino: InodeNr) {
+    fn ino_untrack(&mut self, ino: InodeNr, h: u32) {
+        let pos = self.slab[h].ino_pos as usize;
+        let mut moved = None;
+        let mut empty = false;
         match self.per_ino.get_mut(&ino) {
-            Some(c) if *c > 1 => *c -= 1,
-            Some(_) => {
-                self.per_ino.remove(&ino);
+            Some(v) => {
+                v.swap_remove(pos);
+                if pos < v.len() {
+                    moved = Some(v[pos]);
+                }
+                empty = v.is_empty();
             }
-            None => debug_assert!(false, "per-inode count underflow"),
+            None => debug_assert!(false, "per-inode index underflow"),
         }
+        if let Some(m) = moved {
+            self.slab[m].ino_pos = pos as u32;
+        }
+        if empty {
+            self.per_ino.remove(&ino);
+        }
+    }
+
+    fn lru_unlink(&mut self, h: u32) {
+        let (p, n) = {
+            let node = &self.slab[h];
+            (node.prev, node.next)
+        };
+        if p == NIL {
+            self.lru_head = n;
+        } else {
+            self.slab[p].next = n;
+        }
+        if n == NIL {
+            self.lru_tail = p;
+        } else {
+            self.slab[n].prev = p;
+        }
+    }
+
+    fn lru_push_tail(&mut self, h: u32) {
+        let t = self.lru_tail;
+        {
+            let node = &mut self.slab[h];
+            node.prev = t;
+            node.next = NIL;
+        }
+        if t == NIL {
+            self.lru_head = h;
+        } else {
+            self.slab[t].next = h;
+        }
+        self.lru_tail = h;
+    }
+
+    fn dirty_unlink(&mut self, h: u32) {
+        let (p, n) = {
+            let node = &mut self.slab[h];
+            let pn = (node.dprev, node.dnext);
+            node.in_dirty = false;
+            node.dprev = NIL;
+            node.dnext = NIL;
+            pn
+        };
+        if p == NIL {
+            self.dirty_head = n;
+        } else {
+            self.slab[p].dnext = n;
+        }
+        if n == NIL {
+            self.dirty_tail = p;
+        } else {
+            self.slab[n].dprev = p;
+        }
+        self.dirty_count -= 1;
+    }
+
+    fn dirty_push_tail(&mut self, h: u32) {
+        let t = self.dirty_tail;
+        {
+            let node = &mut self.slab[h];
+            node.in_dirty = true;
+            node.dprev = t;
+            node.dnext = NIL;
+        }
+        if t == NIL {
+            self.dirty_head = h;
+        } else {
+            self.slab[t].dnext = h;
+        }
+        self.dirty_tail = h;
+        self.dirty_count += 1;
     }
 
     /// Maximum number of pages.
@@ -161,12 +272,12 @@ impl PageCache {
 
     /// Current number of cached pages.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// Returns `true` if the cache holds no pages.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 
     /// Hit/miss statistics.
@@ -174,32 +285,25 @@ impl PageCache {
         self.stats
     }
 
-    fn meta(key: PageKey, e: &Entry) -> PageMeta {
+    fn node_meta(n: &Node) -> PageMeta {
         PageMeta {
-            key,
-            block: e.block,
-            dirty: e.dirty,
+            key: n.key,
+            block: n.block,
+            dirty: n.dirty,
         }
     }
 
-    fn touch(&mut self, key: PageKey) {
-        let Some(e) = self.entries.get_mut(&key) else {
-            return;
-        };
-        self.lru.remove(&e.tick);
-        self.dirty_lru.remove(&e.tick);
-        self.tick += 1;
-        e.tick = self.tick;
-        self.lru.insert(self.tick, key);
-        if e.dirty {
-            self.dirty_lru.insert(self.tick, key);
+    /// Refreshes a page's recency: moves it to the LRU tail, and — as
+    /// the tick-keyed maps did — to the dirty tail if dirty.
+    fn touch_handle(&mut self, h: u32) {
+        self.lru_unlink(h);
+        self.lru_push_tail(h);
+        if self.slab[h].dirty {
+            if self.slab[h].in_dirty {
+                self.dirty_unlink(h);
+            }
+            self.dirty_push_tail(h);
         }
-    }
-
-    /// Key range covering every possible page of `ino` (keys order
-    /// inode-major, so a file's pages are contiguous in `entries`).
-    fn file_range(ino: InodeNr) -> RangeInclusive<PageKey> {
-        PageKey::new(ino, PageIndex(0))..=PageKey::new(ino, PageIndex(u64::MAX))
     }
 
     fn push_event(&mut self, meta: PageMeta, ev: PageEvent) {
@@ -220,10 +324,10 @@ impl PageCache {
     /// Looks up a page, counting a hit or miss and refreshing LRU
     /// position on a hit.
     pub fn lookup(&mut self, key: PageKey) -> Option<PageMeta> {
-        if let Some(e) = self.entries.get(&key) {
-            let m = Self::meta(key, e);
+        if let Some(&h) = self.index.get(&key) {
+            let m = Self::node_meta(&self.slab[h]);
             self.stats.hits += 1;
-            self.touch(key);
+            self.touch_handle(h);
             Some(m)
         } else {
             self.stats.misses += 1;
@@ -233,12 +337,14 @@ impl PageCache {
 
     /// Looks up a page without touching LRU order or statistics.
     pub fn peek(&self, key: PageKey) -> Option<PageMeta> {
-        self.entries.get(&key).map(|e| Self::meta(key, e))
+        self.index
+            .get(&key)
+            .map(|&h| Self::node_meta(&self.slab[h]))
     }
 
     /// Returns `true` if the page is cached (no LRU side effects).
     pub fn contains(&self, key: PageKey) -> bool {
-        self.entries.contains_key(&key)
+        self.index.contains_key(&key)
     }
 
     /// Inserts (or refreshes) a page and returns any pages evicted to
@@ -250,30 +356,35 @@ impl PageCache {
     /// updates the block mapping if `block` is `Some`, and dirties it if
     /// `dirty` is set.
     pub fn insert(&mut self, key: PageKey, block: Option<BlockNr>, dirty: bool) -> Vec<PageMeta> {
-        if self.entries.contains_key(&key) {
+        if let Some(&h) = self.index.get(&key) {
             if let Some(b) = block {
-                self.set_block(key, b);
+                self.slab[h].block = Some(b);
             }
             if dirty {
                 self.mark_dirty(key);
             }
-            self.touch(key);
+            self.touch_handle(h);
             return Vec::new();
         }
-        self.tick += 1;
-        let entry = Entry {
+        let h = self.slab.insert(Node {
+            key,
             block,
             dirty,
-            tick: self.tick,
-        };
-        self.entries.insert(key, entry);
-        self.lru.insert(self.tick, key);
+            prev: NIL,
+            next: NIL,
+            in_dirty: false,
+            dprev: NIL,
+            dnext: NIL,
+            ino_pos: 0,
+        });
+        self.index.insert(key, h);
+        self.lru_push_tail(h);
         if dirty {
-            self.dirty_lru.insert(self.tick, key);
+            self.dirty_push_tail(h);
         }
-        self.ino_inc(key.ino);
+        self.ino_track(key.ino, h);
         self.stats.insertions += 1;
-        let meta = Self::meta(key, &entry);
+        let meta = Self::node_meta(&self.slab[h]);
         self.push_event(meta, PageEvent::Added);
         if dirty {
             self.push_event(meta, PageEvent::Dirtied);
@@ -284,7 +395,7 @@ impl PageCache {
         // for dirty victims, Removed for clean ones).
         let mut target = self.capacity;
         if let Some(faults) = &self.faults {
-            if self.entries.len() > 1 && faults.fire(FaultSite::CacheEvictionStorm) {
+            if self.index.len() > 1 && faults.fire(FaultSite::CacheEvictionStorm) {
                 let max_shed = ((self.capacity / 4).max(1)) as u64;
                 let shed = faults.amplitude(FaultSite::CacheEvictionStorm, 1, max_shed + 1);
                 target = self.capacity.saturating_sub(shed as usize).max(1);
@@ -301,49 +412,47 @@ impl PageCache {
 
     fn evict_to(&mut self, target: usize) -> Vec<PageMeta> {
         let mut evicted = Vec::new();
-        while self.entries.len() > target {
+        while self.index.len() > target {
             // Prefer the least-recently-used *clean, unprotected* page;
             // then clean protected; every entry except the most recent
             // (the page being inserted) is a candidate, up to a bounded
             // scan depth. Dirty LRU fallback last.
             let scan = Self::CLEAN_SCAN
-                .min(self.entries.len().saturating_sub(1))
+                .min(self.index.len().saturating_sub(1))
                 .max(1);
-            let mut clean_protected = None;
-            let mut chosen = None;
-            for (&t, k) in self.lru.iter().take(scan) {
-                if self.entries[k].dirty {
-                    continue;
-                }
-                if self.protected.contains(k) {
-                    if clean_protected.is_none() {
-                        clean_protected = Some(t);
+            let mut clean_protected = NIL;
+            let mut chosen = NIL;
+            let mut h = self.lru_head;
+            let mut seen = 0usize;
+            while h != NIL && seen < scan {
+                let node = &self.slab[h];
+                if !node.dirty {
+                    if self.protected.contains(&node.key) {
+                        if clean_protected == NIL {
+                            clean_protected = h;
+                        }
+                    } else {
+                        chosen = h;
+                        break;
                     }
-                } else {
-                    chosen = Some(t);
-                    break;
                 }
+                h = node.next;
+                seen += 1;
             }
-            let victim_tick = match chosen.or(clean_protected) {
-                Some(t) => t,
+            let victim = if chosen != NIL {
+                chosen
+            } else if clean_protected != NIL {
+                clean_protected
+            } else {
                 // Fall back to the oldest page outright (all dirty).
-                None => match self.lru.keys().next() {
-                    Some(&t) => t,
-                    None => break,
-                },
+                self.lru_head
             };
-            let Some(victim) = self.lru.remove(&victim_tick) else {
+            if victim == NIL {
                 break;
-            };
-            let Some(e) = self.entries.remove(&victim) else {
-                continue;
-            };
-            if e.dirty {
-                self.dirty_lru.remove(&e.tick);
             }
-            self.ino_dec(victim.ino);
-            let before = Self::meta(victim, &e);
-            if e.dirty {
+            let node = self.detach(victim);
+            let before = Self::node_meta(&node);
+            if node.dirty {
                 self.stats.writebacks += 1;
                 let clean = PageMeta {
                     dirty: false,
@@ -363,20 +472,35 @@ impl PageCache {
         evicted
     }
 
+    /// Fully removes a resident page: unlinks both intrusive lists,
+    /// drops the key index and per-file entry, frees the slab slot.
+    /// Returns the node's final state.
+    fn detach(&mut self, h: u32) -> Node {
+        self.lru_unlink(h);
+        if self.slab[h].in_dirty {
+            self.dirty_unlink(h);
+        }
+        let node = self.slab[h];
+        self.index.remove(&node.key);
+        self.ino_untrack(node.key.ino, h);
+        self.slab.remove(h);
+        node
+    }
+
     /// Sets the dirty bit. Returns `true` if the page was present and
     /// transitioned from clean to dirty (emitting `Dirtied`).
     pub fn mark_dirty(&mut self, key: PageKey) -> bool {
-        let Some(e) = self.entries.get_mut(&key) else {
+        let Some(&h) = self.index.get(&key) else {
             return false;
         };
-        if e.dirty {
-            self.touch(key);
+        if self.slab[h].dirty {
+            self.touch_handle(h);
             return false;
         }
-        e.dirty = true;
-        let meta = Self::meta(key, e);
+        self.slab[h].dirty = true;
+        let meta = Self::node_meta(&self.slab[h]);
         self.push_event(meta, PageEvent::Dirtied);
-        self.touch(key);
+        self.touch_handle(h);
         true
     }
 
@@ -385,8 +509,8 @@ impl PageCache {
     /// next event's metadata (the paper defers such pages "to be
     /// returned by a later fetch operation", §4.2).
     pub fn set_block(&mut self, key: PageKey, block: BlockNr) {
-        if let Some(e) = self.entries.get_mut(&key) {
-            e.block = Some(block);
+        if let Some(&h) = self.index.get(&key) {
+            self.slab[h].block = Some(block);
         }
     }
 
@@ -394,19 +518,19 @@ impl PageCache {
     /// first. The pages are marked clean and `Flushed` events are
     /// emitted; the caller must issue the corresponding device writes.
     pub fn writeback_batch(&mut self, max: usize) -> Vec<PageMeta> {
-        // The dirty index is tick-ordered, so its prefix *is* the
+        // The dirty list is recency-ordered, so its prefix *is* the
         // oldest-first dirty scan — no pass over clean entries.
-        let victims: Vec<(u64, PageKey)> = self
-            .dirty_lru
-            .iter()
-            .take(max)
-            .map(|(&t, &k)| (t, k))
-            .collect();
+        let mut victims = Vec::with_capacity(max.min(self.dirty_count));
+        let mut h = self.dirty_head;
+        while h != NIL && victims.len() < max {
+            victims.push(h);
+            h = self.slab[h].dnext;
+        }
         let mut out = Vec::with_capacity(victims.len());
-        for (tick, key) in victims {
+        for h in victims {
             // An injected writeback failure leaves the page dirty (no
-            // Flushed event, no writeback charged); the tick-ordered
-            // dirty index is untouched, so the next batch retries it.
+            // Flushed event, no writeback charged); the recency-ordered
+            // dirty list is untouched, so the next batch retries it.
             if let Some(faults) = &self.faults {
                 if faults.fire(FaultSite::CacheWritebackFail) {
                     if let Some(trace) = &self.trace {
@@ -415,13 +539,10 @@ impl PageCache {
                     continue;
                 }
             }
-            let Some(e) = self.entries.get_mut(&key) else {
-                continue;
-            };
-            e.dirty = false;
-            self.dirty_lru.remove(&tick);
+            self.dirty_unlink(h);
+            self.slab[h].dirty = false;
             self.stats.writebacks += 1;
-            let meta = Self::meta(key, e);
+            let meta = Self::node_meta(&self.slab[h]);
             self.push_event(meta, PageEvent::Flushed);
             out.push(meta);
         }
@@ -431,21 +552,23 @@ impl PageCache {
     /// Flushes all dirty pages of one file (fsync-style). Marks them
     /// clean, emits `Flushed`, and returns them for the caller to write.
     pub fn flush_file(&mut self, ino: InodeNr) -> Vec<PageMeta> {
-        let victims: Vec<PageKey> = self
-            .entries
-            .range(Self::file_range(ino))
-            .filter(|(_, e)| e.dirty)
-            .map(|(k, _)| *k)
-            .collect();
+        // The per-file index is in handle order; sort by page index so
+        // the events keep the key order the B-tree range scan had.
+        let mut victims: Vec<(PageIndex, u32)> = match self.per_ino.get(&ino) {
+            Some(v) => v
+                .iter()
+                .filter(|&&h| self.slab[h].dirty)
+                .map(|&h| (self.slab[h].key.index, h))
+                .collect(),
+            None => return Vec::new(),
+        };
+        victims.sort_unstable_by_key(|&(idx, _)| idx);
         let mut out = Vec::with_capacity(victims.len());
-        for key in victims {
-            let Some(e) = self.entries.get_mut(&key) else {
-                continue;
-            };
-            e.dirty = false;
-            self.dirty_lru.remove(&e.tick);
+        for (_, h) in victims {
+            self.dirty_unlink(h);
+            self.slab[h].dirty = false;
             self.stats.writebacks += 1;
-            let meta = Self::meta(key, e);
+            let meta = Self::node_meta(&self.slab[h]);
             self.push_event(meta, PageEvent::Flushed);
             out.push(meta);
         }
@@ -456,11 +579,11 @@ impl PageCache {
     /// `Removed` for each and discards dirty data (the file is going
     /// away). Returns the removed pages.
     pub fn remove_file(&mut self, ino: InodeNr) -> Vec<PageMeta> {
-        let victims: Vec<PageKey> = self
-            .entries
-            .range(Self::file_range(ino))
-            .map(|(k, _)| *k)
-            .collect();
+        let mut victims: Vec<PageKey> = match self.per_ino.get(&ino) {
+            Some(v) => v.iter().map(|&h| self.slab[h].key).collect(),
+            None => return Vec::new(),
+        };
+        victims.sort_unstable();
         let mut out = Vec::with_capacity(victims.len());
         for key in victims {
             if let Some(m) = self.remove(key) {
@@ -473,43 +596,46 @@ impl PageCache {
     /// Invalidates a single page, emitting `Removed`. Returns its
     /// pre-removal metadata if it was present.
     pub fn remove(&mut self, key: PageKey) -> Option<PageMeta> {
-        let e = self.entries.remove(&key)?;
-        self.ino_dec(key.ino);
-        self.lru.remove(&e.tick);
-        if e.dirty {
-            self.dirty_lru.remove(&e.tick);
-        }
-        let meta = Self::meta(key, &e);
+        let &h = self.index.get(&key)?;
+        let node = self.detach(h);
+        let meta = Self::node_meta(&node);
         self.push_event(meta, PageEvent::Removed);
         Some(meta)
     }
 
     /// Iterates over all cached pages in key order (used by the
-    /// Duet registration scan, §4.1).
+    /// Duet registration scan, §4.1). The resident set lives in hash
+    /// order now, so this sorts a snapshot — O(n log n) on this cold
+    /// path bought O(1) on every hot-path touch.
     pub fn iter(&self) -> impl Iterator<Item = PageMeta> + '_ {
-        self.entries.iter().map(|(k, e)| Self::meta(*k, e))
+        let mut metas: Vec<PageMeta> = self
+            .index
+            .values()
+            .map(|&h| Self::node_meta(&self.slab[h]))
+            .collect();
+        metas.sort_unstable_by_key(|m| m.key);
+        metas.into_iter()
     }
 
     /// Number of cached pages belonging to `ino` (O(1)).
     pub fn pages_of(&self, ino: InodeNr) -> usize {
-        self.per_ino.get(&ino).copied().unwrap_or(0)
+        self.per_ino.get(&ino).map(|v| v.len()).unwrap_or(0)
     }
 
-    /// Cached pages of one file.
+    /// Cached pages of one file, in key order.
     pub fn pages_of_file(&self, ino: InodeNr) -> Vec<PageMeta> {
-        if self.pages_of(ino) == 0 {
+        let Some(v) = self.per_ino.get(&ino) else {
             return Vec::new();
-        }
-        self.entries
-            .range(Self::file_range(ino))
-            .map(|(k, e)| Self::meta(*k, e))
-            .collect()
+        };
+        let mut out: Vec<PageMeta> = v.iter().map(|&h| Self::node_meta(&self.slab[h])).collect();
+        out.sort_unstable_by_key(|m| m.key);
+        out
     }
 
     /// Number of dirty pages (O(1); the writeback high-water check runs
     /// every simulation step).
     pub fn dirty_len(&self) -> usize {
-        self.dirty_lru.len()
+        self.dirty_count
     }
 
     /// Drains and returns all pending page events in occurrence order.

@@ -100,17 +100,74 @@ impl SparseBitmap {
             .unwrap_or(false)
     }
 
-    /// Sets every bit in `start..end`.
+    /// Sets every bit in `start..end`, word-at-a-time: full interior
+    /// words are filled with a single `|=`, and the partial words at
+    /// the range edges use masks. Large task ranges (a scrubber marking
+    /// a whole extent `done`) cost one word op per 64 bits instead of
+    /// one map lookup per bit.
     pub fn set_range(&mut self, start: u64, end: u64) {
-        for i in start..end {
-            self.set(i);
+        let mut i = start;
+        while i < end {
+            let chunk = i / CHUNK_BITS;
+            let chunk_end = ((chunk + 1) * CHUNK_BITS).min(end);
+            let c = self
+                .chunks
+                .entry(chunk)
+                .or_insert_with(|| Box::new([0u64; CHUNK_WORDS]));
+            let mut word = ((i % CHUNK_BITS) / 64) as usize;
+            while i < chunk_end {
+                let bit = i % 64;
+                let span = (64 - bit).min(chunk_end - i);
+                let mask = Self::range_mask(bit, span);
+                let newly_set = mask & !c[word];
+                c[word] |= mask;
+                self.count += newly_set.count_ones() as u64;
+                i += span;
+                word += 1;
+            }
         }
     }
 
-    /// Clears every bit in `start..end`.
+    /// Clears every bit in `start..end` word-at-a-time (see
+    /// [`SparseBitmap::set_range`]). Chunks whose last bit clears are
+    /// freed, exactly as with single-bit [`SparseBitmap::clear`].
     pub fn clear_range(&mut self, start: u64, end: u64) {
-        for i in start..end {
-            self.clear(i);
+        let mut i = start;
+        while i < end {
+            let chunk = i / CHUNK_BITS;
+            let chunk_end = ((chunk + 1) * CHUNK_BITS).min(end);
+            let Some(c) = self.chunks.get_mut(&chunk) else {
+                i = chunk_end;
+                continue;
+            };
+            let mut word = ((i % CHUNK_BITS) / 64) as usize;
+            let mut cleared = 0u64;
+            while i < chunk_end {
+                let bit = i % 64;
+                let span = (64 - bit).min(chunk_end - i);
+                let mask = Self::range_mask(bit, span);
+                cleared += (c[word] & mask).count_ones() as u64;
+                c[word] &= !mask;
+                i += span;
+                word += 1;
+            }
+            if cleared > 0 {
+                self.count -= cleared;
+                if c.iter().all(|&w| w == 0) {
+                    self.chunks.remove(&chunk);
+                }
+            }
+        }
+    }
+
+    /// Mask covering `span` bits starting at `bit` within one word.
+    /// `span` is in `1..=64` and `bit + span <= 64`.
+    #[inline]
+    fn range_mask(bit: u64, span: u64) -> u64 {
+        if span == 64 {
+            !0u64
+        } else {
+            ((1u64 << span) - 1) << bit
         }
     }
 
@@ -230,6 +287,68 @@ mod tests {
         bm.clear_range(0, 15);
         assert_eq!(bm.count(), 5);
         assert!(!bm.test(14) && bm.test(15));
+    }
+
+    /// Pins `count()` for ranges whose edges land on, next to, and
+    /// across 64-bit word boundaries and chunk boundaries — the cases
+    /// the word-at-a-time edge masks must get exactly right.
+    #[test]
+    fn range_count_across_word_boundaries() {
+        let cases = [
+            (0, 64),                              // exactly one word
+            (0, 63),                              // one short of a boundary
+            (1, 64),                              // starts mid-word, ends on one
+            (63, 65),                             // straddles a word boundary
+            (64, 128),                            // word-aligned interior
+            (60, 200),                            // partial, full, partial words
+            (CHUNK_BITS - 1, CHUNK_BITS + 1),     // straddles a chunk boundary
+            (CHUNK_BITS - 64, CHUNK_BITS + 64),   // aligned across chunks
+            (CHUNK_BITS - 7, 2 * CHUNK_BITS + 3), // full chunk plus ragged edges
+            (5, 5),                               // empty range
+        ];
+        for &(start, end) in &cases {
+            let mut bm = SparseBitmap::new();
+            bm.set_range(start, end);
+            assert_eq!(bm.count(), end - start, "set_range({start}, {end})");
+            for i in start.saturating_sub(2)..end + 2 {
+                assert_eq!(bm.test(i), (start..end).contains(&i), "bit {i}");
+            }
+            // Overlapping re-set must not double-count.
+            bm.set_range(start, end);
+            assert_eq!(bm.count(), end - start);
+            // Clearing a superset range leaves nothing and frees chunks.
+            bm.clear_range(start.saturating_sub(3), end + 3);
+            assert_eq!(bm.count(), 0, "clear_range over ({start}, {end})");
+            assert_eq!(bm.memory_bytes(), 0);
+        }
+    }
+
+    /// Word-at-a-time ranges agree bit-for-bit with per-bit loops.
+    #[test]
+    fn ranges_match_per_bit_reference() {
+        use crate::rng::SimRng;
+        let mut rng = SimRng::new(0x0b17_ba9e);
+        for _ in 0..200 {
+            let mut bm = SparseBitmap::new();
+            let mut reference = std::collections::BTreeSet::new();
+            for _ in 0..8 {
+                let start = rng.gen_range(0, 3 * CHUNK_BITS);
+                let end = start + rng.gen_range(0, 300);
+                if rng.gen_range(0, 2) == 0 {
+                    bm.set_range(start, end);
+                    reference.extend(start..end);
+                } else {
+                    bm.clear_range(start, end);
+                    for i in start..end {
+                        reference.remove(&i);
+                    }
+                }
+                assert_eq!(bm.count(), reference.len() as u64);
+            }
+            let got: Vec<u64> = bm.iter().collect();
+            let want: Vec<u64> = reference.iter().copied().collect();
+            assert_eq!(got, want);
+        }
     }
 
     #[test]

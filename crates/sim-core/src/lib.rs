@@ -30,10 +30,16 @@
 //!   events and spans from every layer, with JSONL / Chrome `trace_event`
 //!   dumps and whole-run counters; compiled out entirely when the `trace`
 //!   cargo feature is disabled.
+//! - [`dmap`]: deterministic O(1) hash containers ([`dmap::DMap`],
+//!   [`dmap::DSet`]) with seeded hashing and insertion-order iteration,
+//!   plus a slab arena ([`dmap::Slab`]) with stable `u32` handles — the
+//!   hot-path replacements for the B-tree maps that PR 1's determinism
+//!   pass left on the page-cache and priority-queue inner loops.
 
 pub mod bitmap;
 pub mod check;
 pub mod clock;
+pub mod dmap;
 pub mod error;
 pub mod fault;
 pub mod ids;
@@ -43,6 +49,7 @@ pub mod trace;
 
 pub use bitmap::SparseBitmap;
 pub use clock::{Clock, SimDuration, SimInstant};
+pub use dmap::{DMap, DSet, DetHash, Slab};
 pub use error::{SimError, SimResult};
 pub use fault::{FaultHandle, FaultInjector, FaultPlan, FaultSite};
 pub use ids::{

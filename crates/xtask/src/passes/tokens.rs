@@ -41,8 +41,10 @@ pub fn find(t: &[Token], rules: RuleSet) -> Vec<(usize, Rule, String, String)> {
                 s.into(),
                 format!(
                     "hash-ordered `{s}` can leak iteration order into events/results — use \
-                     `BTree{}` or waive with `// lint: sorted`",
-                    &s[4..]
+                     `BTree{0}` or the seeded `sim_core::dmap::{1}` (deterministic iteration), \
+                     or waive with `// lint: sorted`",
+                    &s[4..],
+                    if s == "HashMap" { "DMap" } else { "DSet" }
                 ),
             ));
         }

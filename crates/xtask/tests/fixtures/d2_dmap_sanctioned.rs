@@ -1,0 +1,22 @@
+// Fixture: the seeded deterministic containers are sanctioned (D2
+// flags only the std hash collections next to them).
+use sim_core::dmap::{DMap, DSet};
+use std::collections::HashMap;
+
+pub struct Index {
+    by_block: DMap<u64, u64>,
+    corrupted: DSet<u64>,
+    // The one violation in this file:
+    legacy: HashMap<u64, u64>,
+}
+
+pub fn emit(ix: &Index) -> String {
+    let mut out = String::new();
+    for (k, v) in ix.by_block.iter() {
+        if ix.corrupted.contains(k) {
+            out.push_str(&format!("{k},{v}\n"));
+        }
+    }
+    out.push_str(&format!("legacy {}\n", ix.legacy.len()));
+    out
+}

@@ -37,6 +37,22 @@ fn d2_flags_hash_collections() {
     assert_eq!(sets, 2, "{v:?}");
 }
 
+/// The seeded deterministic containers (`sim_core::dmap`) iterate in
+/// insertion order, so D2 must leave them alone — and point at them as
+/// the sanctioned alternative when it does fire on a std hash
+/// collection in the same file.
+#[test]
+fn d2_sanctions_dmap_containers() {
+    let v = lint_fixture("d2_dmap_sanctioned.rs");
+    assert!(v.iter().all(|x| x.rule == Rule::D2), "{v:?}");
+    let tokens: Vec<&str> = v.iter().map(|x| x.token.as_str()).collect();
+    assert_eq!(tokens, vec!["HashMap", "HashMap"], "import + field: {v:?}");
+    assert!(
+        v.iter().all(|x| x.message.contains("dmap::DMap")),
+        "the diagnostic must name the sanctioned container: {v:?}"
+    );
+}
+
 #[test]
 fn d3_flags_panic_paths() {
     let v = lint_fixture("d3_panics.rs");

@@ -5,6 +5,7 @@
 #   fmt --check  →  clippy -D warnings  →  xtask lint  →  cargo test
 #   →  fault matrix (pinned seed)  →  oracle sabotage localization
 #   →  trace compile-out check  →  repro_all smoke (tiny scale, 2 jobs)
+#   →  microbenchmarks + perf-regression gate (committed baseline)
 #
 # Each step must pass before the next runs; the script exits non-zero
 # on the first failure.
@@ -54,5 +55,17 @@ cargo build -q --release -p bench --bin repro_all
 timeout 600 env DUET_SCALE=512 DUET_JOBS=2 ./target/release/repro_all \
     fig2_scrub_saved fig6_scrub_backup_completed fig9_cpu_overhead > /dev/null
 test -s results/BENCH_sweeps.json
+
+echo "==> microbenchmarks + perf-regression gate"
+# `bench micro` re-measures the hot-path containers; `bench gate`
+# compares the fresh sweeps + micro numbers against the committed
+# results/BENCH_baseline.json. Wall times get a tolerance band
+# (DUET_GATE_TOL / DUET_GATE_TOL_MICRO); simulated op counts must match
+# the baseline exactly — they are deterministic, so drift means the
+# simulation changed, not the machine. Re-baseline deliberately with
+# `cargo run --release -p bench -- baseline` (DESIGN.md §12).
+cargo build -q --release -p bench --bin bench
+timeout 600 ./target/release/bench micro
+./target/release/bench gate
 
 echo "==> all checks passed"

@@ -173,3 +173,142 @@ fn rsync_preset_is_byte_identical_across_runs() {
     };
     assert_eq!(ser(&a), ser(&b), "rsync run is not deterministic");
 }
+
+// ---------------------------------------------------------------------
+// Fixture-pinned golden passes: the tests above prove run-to-run
+// determinism *within* a build; these pin the outputs against committed
+// fixtures, so a change in behaviour — a container swapped under the
+// hood, an iteration order leak — fails the build even if it is
+// self-consistent. Regenerate deliberately with
+// `cargo run --release -p bench --bin dump_golden` (DESIGN.md §12).
+// ---------------------------------------------------------------------
+
+/// The seed-7 experiment preset must match the committed fixture
+/// byte for byte.
+#[test]
+fn experiment_preset_matches_committed_fixture() {
+    let mut c = paper_scaled(
+        512,
+        Personality::WebServer,
+        DistKind::MsTrace(0),
+        1.0,
+        0.4,
+        vec![TaskKind::Scrub, TaskKind::Backup],
+        true,
+    );
+    c.seed = 7;
+    let got = duet_repro::experiments::golden::golden_csv(&run_experiment(&c).expect("run"));
+    assert_eq!(
+        got,
+        include_str!("fixtures/golden_experiment_seed7.csv"),
+        "seed-7 experiment diverged from the committed golden fixture"
+    );
+}
+
+/// The seed-21 baseline preset must match its committed fixture.
+#[test]
+fn baseline_preset_matches_committed_fixture() {
+    let mut c = paper_scaled(
+        512,
+        Personality::FileServer,
+        DistKind::Uniform,
+        1.0,
+        0.6,
+        vec![TaskKind::Scrub],
+        false,
+    );
+    c.seed = 21;
+    let got = duet_repro::experiments::golden::golden_csv(&run_experiment(&c).expect("run"));
+    assert_eq!(
+        got,
+        include_str!("fixtures/golden_baseline_seed21.csv"),
+        "seed-21 baseline diverged from the committed golden fixture"
+    );
+}
+
+/// The rsync preset must match its committed one-line fixture.
+#[test]
+fn rsync_preset_matches_committed_fixture() {
+    let cfg = paper_scaled(
+        512,
+        Personality::WebServer,
+        DistKind::Uniform,
+        1.0,
+        1.0,
+        vec![],
+        true,
+    );
+    let r = run_rsync_experiment(&cfg, true).expect("run");
+    let got = duet_repro::experiments::golden::golden_rsync_line(&r) + "\n";
+    assert_eq!(
+        got,
+        include_str!("fixtures/golden_rsync.txt"),
+        "rsync preset diverged from the committed golden fixture"
+    );
+}
+
+/// The scripted page-cache op mix — every eviction, event and counter —
+/// must replay the committed log exactly. This is the finest-grained
+/// pin on the intrusive-LRU cache: 4000 ops of inserts, lookups,
+/// writebacks, flushes, removals and protection windows.
+#[test]
+fn cache_event_log_matches_committed_fixture() {
+    let got = duet_repro::experiments::golden::cache_event_log(0xCAFE, 4000);
+    assert_eq!(
+        got,
+        include_str!("fixtures/golden_cache_events.txt"),
+        "page-cache op-mix log diverged from the committed golden fixture"
+    );
+}
+
+/// The scripted priority-queue op mix — with deliberate priority ties —
+/// must replay the committed pop/peek log exactly, pinning the
+/// documented tie-break (max priority, ties by largest key) across
+/// container changes.
+#[test]
+fn prioqueue_pop_log_matches_committed_fixture() {
+    let got = duet_repro::experiments::golden::prioqueue_pop_log(0x9A11, 4000);
+    assert_eq!(
+        got,
+        include_str!("fixtures/golden_prioqueue_pops.txt"),
+        "priority-queue op-mix log diverged from the committed golden fixture"
+    );
+}
+
+/// The traced seed-7 run's digests (golden CSV, JSONL stream, counters)
+/// must match the committed fixture. The fixture records whether it was
+/// produced with tracing compiled in; a mismatched build skips rather
+/// than producing a false failure.
+#[test]
+fn trace_digests_match_committed_fixture() {
+    let fixture = include_str!("fixtures/golden_trace_seed7.txt");
+    if !TraceHandle::compiled_in() || fixture.trim() == "trace_compiled_out" {
+        return;
+    }
+    let mut c = paper_scaled(
+        512,
+        Personality::WebServer,
+        DistKind::Uniform,
+        1.0,
+        0.4,
+        vec![TaskKind::Scrub, TaskKind::Backup],
+        true,
+    );
+    c.seed = 7;
+    let t = TraceHandle::with_default_capacity();
+    let r = run_experiment_traced(&c, Some(&t)).expect("traced run");
+    let jsonl = t.dump_jsonl();
+    let golden = duet_repro::experiments::golden::golden_csv(&r);
+    let fnv = duet_repro::experiments::golden::fnv128_hex;
+    let got = format!(
+        "golden_csv_digest {}\njsonl_lines {}\njsonl_digest {}\ncounters_digest {}\n",
+        fnv(golden.as_bytes()),
+        jsonl.lines().count(),
+        fnv(jsonl.as_bytes()),
+        fnv(format!("{:?}", t.counters()).as_bytes())
+    );
+    assert_eq!(
+        got, fixture,
+        "traced seed-7 digests diverged from the committed golden fixture"
+    );
+}
