@@ -15,7 +15,7 @@
 
 use bench::sweeps::{completed_cells, saved_cells};
 use experiments::golden::{
-    cache_event_log, fnv128_hex, golden_csv, golden_rsync_line, prioqueue_pop_log,
+    cache_event_log, extent_oplog, fnv128_hex, golden_csv, golden_rsync_line, prioqueue_pop_log,
 };
 use experiments::{
     paper_scaled, run_experiment, run_experiment_traced, run_rsync_experiment, DeviceKind, TaskKind,
@@ -190,6 +190,11 @@ fn main() -> ExitCode {
         root_fixtures,
         "golden_prioqueue_pops.txt",
         &prioqueue_pop_log(0x9A11, 4000),
+    );
+    write(
+        root_fixtures,
+        "golden_extent_oplog.txt",
+        &extent_oplog(0xE47E, 4000),
     );
 
     println!("all fixtures written");

@@ -20,7 +20,7 @@ use workloads::{DistKind, FileSetConfig, Personality, WorkloadConfig};
 
 /// Runs the harness at 1/`scale` of the paper setup.
 pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
-    let profiles = ProfileCache::new();
+    let profiles = ProfileCache::global();
 
     // 1. Victim policy ablation.
     let mut gc = Report::new(
@@ -95,7 +95,7 @@ pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
         cfg.policy = SchedulerPolicy::CfqIdle {
             grace: SimDuration::from_millis(graces[i]),
         };
-        run_experiment_cached(&cfg, &profiles)
+        run_experiment_cached(&cfg, profiles)
     })?;
     for (&grace_ms, r) in graces.iter().zip(&grace_runs) {
         grace.row(
@@ -128,7 +128,7 @@ pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
             true,
         );
         cfg.cache_pages = (cfg.cache_pages as u64 / divisors[i]).max(128) as usize;
-        Ok((cfg.cache_pages, run_experiment_cached(&cfg, &profiles)?))
+        Ok((cfg.cache_pages, run_experiment_cached(&cfg, profiles)?))
     })?;
     for (cache_pages, r) in &cache_runs {
         cache.row(
@@ -172,7 +172,7 @@ pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
             );
             cfg.poll_period = SimDuration::from_millis(poll_ms);
             cfg.informed_replacement = inf;
-            Ok(run_experiment_cached(&cfg, &profiles)?.io_saved())
+            Ok(run_experiment_cached(&cfg, profiles)?.io_saved())
         })?;
     for (&poll_ms, pair) in polls.iter().zip(informed_runs.chunks(2)) {
         informed.row(sink, &[poll_ms.to_string(), pct(pair[0]), pct(pair[1])]);
@@ -209,7 +209,7 @@ pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
         );
         cfg.fragmentation = Some((1.0, 8));
         cfg.defrag_file_granularity = file_gran;
-        Ok(run_experiment_cached(&cfg, &profiles)?.io_saved())
+        Ok(run_experiment_cached(&cfg, profiles)?.io_saved())
     })?;
     for (&util, pair) in utils.iter().zip(gran_runs.chunks(2)) {
         gran.row(sink, &[f2(util), pct(pair[0]), pct(pair[1])]);

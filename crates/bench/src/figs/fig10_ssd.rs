@@ -42,7 +42,7 @@ pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
         .iter()
         .flat_map(|&u| variants.iter().map(move |&(t, d)| (u, t, d)))
         .collect();
-    let profiles = ProfileCache::new();
+    let profiles = ProfileCache::global();
     let traced = trace::enabled();
     let ran = pool::try_run_indexed(cells.len(), pool::jobs(), |i| -> CellOutcome {
         let (util, task, device) = cells[i];
@@ -57,7 +57,7 @@ pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
         );
         cfg.device = device;
         let handle = trace::cell(traced);
-        let result = run_experiment_cached_traced(&cfg, &profiles, handle.as_ref())?;
+        let result = run_experiment_cached_traced(&cfg, profiles, handle.as_ref())?;
         Ok((
             result.io_saved(),
             result.workload_ops,

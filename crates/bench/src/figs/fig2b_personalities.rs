@@ -51,13 +51,13 @@ pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
         .iter()
         .flat_map(|&t| combos.iter().map(move |&(p, d)| (t, p, d)))
         .collect();
-    let profiles = ProfileCache::new();
+    let profiles = ProfileCache::global();
     let traced = trace::enabled();
     let ran = pool::try_run_indexed(cells.len(), pool::jobs(), |i| -> CellOutcome {
         let (task, personality, dist) = cells[i];
         let cfg = paper_scaled(scale, personality, dist, 1.0, util, vec![task], true);
         let handle = trace::cell(traced);
-        let result = run_experiment_cached_traced(&cfg, &profiles, handle.as_ref())?;
+        let result = run_experiment_cached_traced(&cfg, profiles, handle.as_ref())?;
         Ok((
             result.io_saved(),
             result.workload_ops,

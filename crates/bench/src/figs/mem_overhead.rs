@@ -29,7 +29,7 @@ pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
         true,
     );
     let data_bytes = cfg.fileset.num_files as u64 * cfg.fileset.mean_file_bytes;
-    let r = run_experiment_cached(&cfg, &ProfileCache::new())?;
+    let r = run_experiment_cached(&cfg, ProfileCache::global())?;
     // Worst-case block-task bitmap: 1 bit per device block.
     let bitmap_worst = cfg.capacity_blocks / 8;
     // Worst-case descriptors: 2 × cache pages × descriptor size (N=16).

@@ -132,10 +132,10 @@ pub fn run(scale: u64, sink: &mut Sink) -> BenchResult<()> {
             })
         })
         .collect();
-    let profiles = ProfileCache::new();
+    let profiles = ProfileCache::global();
     let traced = trace::enabled();
     let ran = pool::try_run_indexed(cells.len(), pool::jobs(), |i| {
-        cell(scale, cells[i], &profiles, traced)
+        cell(scale, cells[i], profiles, traced)
     })?;
     let mut traces = TraceAgg::new(traced);
     let values: Vec<String> = ran

@@ -23,7 +23,7 @@ use bench::harness::Stopwatch;
 use duet::PrioQueue;
 use sim_btrfs::BlockTable;
 use sim_cache::{PageCache, PageKey};
-use sim_core::{BlockNr, DMap, DSet, InodeNr, PageIndex, SimRng, Slab, SparseBitmap};
+use sim_core::{BlockNr, DMap, DOrdMap, DSet, InodeNr, PageIndex, SimRng, Slab, SparseBitmap};
 use std::process::ExitCode;
 
 /// Timed samples per microbenchmark (median reported).
@@ -139,6 +139,40 @@ fn micro_slab() -> MicroResult {
             }
         }
         acc.wrapping_add(slab.len() as u64)
+    })
+}
+
+/// Ordered-map churn on the deterministic chunked sorted vector: the
+/// extent-map mix of inserts, floor queries (`range(..=k).next_back()`,
+/// the FIBMAP translation), short forward ranges and removals.
+fn micro_omap() -> MicroResult {
+    const OPS: u64 = 200_000;
+    measure("omap/churn_floor_range", OPS, || {
+        let mut rng = SimRng::new(0x0DD1);
+        let mut m: DOrdMap<u64, u64> = DOrdMap::new();
+        let mut acc = 0u64;
+        for i in 0..OPS {
+            let k = rng.gen_range(0, 4096);
+            match i % 8 {
+                0..=2 => {
+                    m.insert(k, i);
+                }
+                3..=4 => {
+                    if let Some((&fk, &fv)) = m.range(..=k).next_back() {
+                        acc = acc.wrapping_add(fk ^ fv);
+                    }
+                }
+                5 => {
+                    for (&rk, _) in m.range(k..k + 64) {
+                        acc = acc.wrapping_add(rk);
+                    }
+                }
+                _ => {
+                    m.remove(&k);
+                }
+            }
+        }
+        acc.wrapping_add(m.len() as u64)
     })
 }
 
@@ -282,6 +316,7 @@ fn run_micro() -> std::io::Result<Vec<MicroResult>> {
         micro_dmap(),
         micro_dset(),
         micro_slab(),
+        micro_omap(),
         micro_cache_evict(),
         micro_cache_mixed(),
         micro_prioqueue(),

@@ -73,7 +73,7 @@ pub fn saved_cells_traced(
         .iter()
         .flat_map(|&u| overlaps.iter().map(move |&o| (u, o)))
         .collect();
-    let profiles = ProfileCache::new();
+    let profiles = ProfileCache::global();
     let ran = pool::try_run_indexed(cells.len(), jobs, |i| {
         let (util, overlap) = cells[i];
         let mut cfg = paper_scaled(
@@ -88,7 +88,7 @@ pub fn saved_cells_traced(
         cfg.device = device;
         cfg.fragmentation = fragmentation;
         let handle = trace::cell(traced);
-        let result = run_experiment_cached_traced(&cfg, &profiles, handle.as_ref())?;
+        let result = run_experiment_cached_traced(&cfg, profiles, handle.as_ref())?;
         Ok((
             result.io_saved(),
             result.workload_ops,
@@ -186,7 +186,7 @@ pub fn completed_cells_traced(
         .iter()
         .flat_map(|&u| [false, true].into_iter().map(move |d| (u, d)))
         .collect();
-    let profiles = ProfileCache::new();
+    let profiles = ProfileCache::global();
     let ran = pool::try_run_indexed(cells.len(), jobs, |i| {
         let (util, duet) = cells[i];
         let mut cfg = paper_scaled(
@@ -200,7 +200,7 @@ pub fn completed_cells_traced(
         );
         cfg.fragmentation = fragmentation;
         let handle = trace::cell(traced);
-        let result = run_experiment_cached_traced(&cfg, &profiles, handle.as_ref())?;
+        let result = run_experiment_cached_traced(&cfg, profiles, handle.as_ref())?;
         Ok((
             result.work_completed(),
             result.workload_ops,

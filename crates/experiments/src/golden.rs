@@ -225,9 +225,108 @@ pub fn prioqueue_pop_log(seed: u64, ops: u64) -> String {
     out
 }
 
+/// Scripted extent-map op mix: overlapping `map_range` COW updates,
+/// `unmap_range` holes, FIBMAP translations and full clears, serialized
+/// op by op with every observable — displaced/unmapped physical blocks,
+/// extent count, mapped pages and the full in-order extent list. Pins
+/// the split/trim/merge behaviour of the `BTreeMap` → `DOrdMap`
+/// migration byte for byte.
+pub fn extent_oplog(seed: u64, ops: u64) -> String {
+    use sim_btrfs::{ExtentMap, Run};
+    use sim_core::{BlockNr, PageIndex, SimRng};
+    let mut rng = SimRng::new(seed);
+    let mut m = ExtentMap::new();
+    let mut next_block: u64 = 0;
+    let mut out = String::new();
+    let blocks_str = |blocks: &[BlockNr]| {
+        blocks
+            .iter()
+            .map(|b| b.raw().to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    for op in 0..ops {
+        // Small logical space so updates overlap constantly, exercising
+        // splits and trims on both edges.
+        let start = rng.gen_range(0, 96);
+        match rng.gen_range(0, 10) {
+            0..=4 => {
+                // COW write: one to three fresh runs of 1..8 pages.
+                let nruns = rng.gen_range(1, 4);
+                let mut runs = Vec::new();
+                for _ in 0..nruns {
+                    let len = rng.gen_range(1, 8);
+                    runs.push(Run {
+                        start: BlockNr(next_block),
+                        len,
+                    });
+                    next_block += len;
+                }
+                let total: u64 = runs.iter().map(|r| r.len).sum();
+                let displaced = m.map_range(start, &runs);
+                out.push_str(&format!(
+                    "map {start}+{total} displaced {}\n",
+                    blocks_str(&displaced)
+                ));
+            }
+            5..=6 => {
+                let len = rng.gen_range(1, 16);
+                let unmapped = m.unmap_range(start, len);
+                out.push_str(&format!(
+                    "unmap {start}+{len} freed {}\n",
+                    blocks_str(&unmapped)
+                ));
+            }
+            7..=8 => {
+                let got = m
+                    .block_of(PageIndex(start))
+                    .map(|b| b.raw().to_string())
+                    .unwrap_or("-".into());
+                out.push_str(&format!("fibmap {start} {got}\n"));
+            }
+            _ => {
+                if rng.gen_range(0, 24) == 0 {
+                    let cleared = m.clear();
+                    out.push_str(&format!("clear freed {}\n", blocks_str(&cleared)));
+                } else {
+                    out.push_str(&format!(
+                        "count {} pages {}\n",
+                        m.extent_count(),
+                        m.mapped_pages()
+                    ));
+                }
+            }
+        }
+        if op % 32 == 0 {
+            let exts: Vec<String> = m
+                .iter()
+                .map(|e| format!("{}@{}+{}", e.logical, e.physical.raw(), e.len))
+                .collect();
+            out.push_str(&format!("iter {}\n", exts.join(" ")));
+        }
+    }
+    out.push_str(&format!(
+        "final count {} pages {}\n",
+        m.extent_count(),
+        m.mapped_pages()
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn extent_oplog_is_seed_deterministic() {
+        let a = extent_oplog(7, 256);
+        let b = extent_oplog(7, 256);
+        let c = extent_oplog(8, 256);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.contains("map "), "op mix reaches map_range");
+        assert!(a.contains("unmap "), "op mix reaches unmap_range");
+    }
 
     #[test]
     fn digest_is_stable_and_input_sensitive() {

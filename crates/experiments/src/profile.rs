@@ -23,7 +23,7 @@ use sim_btrfs::BtrfsSim;
 use sim_core::{SimError, SimInstant, SimResult};
 use sim_disk::IoClass;
 use std::collections::BTreeMap;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 use workloads::{DistKind, Personality, Workload, WorkloadFs};
 
 /// Operations executed by the calibration run. Enough for the op mix
@@ -169,6 +169,18 @@ impl ProfileCache {
         ProfileCache::default()
     }
 
+    /// The process-wide cache, shared across harnesses. A profile
+    /// depends only on its [`ProfileKey`] and is bit-identical however
+    /// many times it is computed, so sharing entries across sweeps
+    /// (e.g. every `table5_max_util` cell, or a figure harness re-run
+    /// in the same process) is byte-safe and saves re-calibration.
+    /// Tests that assert on `len` should use [`ProfileCache::new`] for
+    /// an isolated instance instead.
+    pub fn global() -> &'static ProfileCache {
+        static GLOBAL: OnceLock<ProfileCache> = OnceLock::new();
+        GLOBAL.get_or_init(ProfileCache::new)
+    }
+
     fn guard(&self) -> MutexGuard<'_, BTreeMap<ProfileKey, u64>> {
         match self.memo.lock() {
             Ok(g) => g,
@@ -283,6 +295,13 @@ mod tests {
         let cache = ProfileCache::new();
         assert_eq!(cache.get_or_profile(&cfg(0.0)), Ok(None));
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn global_cache_is_one_instance() {
+        let a: *const ProfileCache = ProfileCache::global();
+        let b: *const ProfileCache = ProfileCache::global();
+        assert_eq!(a, b, "process-wide singleton");
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! file — exactly the condition the defragmentation task exists to fix
 //! (§5.3).
 
+use sim_core::omap::DOrdMap;
 use sim_core::{BlockNr, SimError, SimResult};
-use std::collections::BTreeMap;
 
 /// An allocated contiguous run of blocks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,10 +21,15 @@ pub struct Run {
 }
 
 /// First-fit extent allocator.
+///
+/// The free map is ordered by physical start address: first-fit scans
+/// it front to back, and `free_range` coalesces with the neighbouring
+/// ranges found by predecessor/successor queries — ordered-map
+/// operations, served by [`DOrdMap`] (DESIGN.md §13).
 #[derive(Debug, Clone)]
 pub struct FreeSpace {
     /// Free ranges: start -> len, non-adjacent (always coalesced).
-    free: BTreeMap<u64, u64>,
+    free: DOrdMap<u64, u64>,
     free_blocks: u64,
     capacity: u64,
 }
@@ -32,7 +37,7 @@ pub struct FreeSpace {
 impl FreeSpace {
     /// Creates an allocator with blocks `0..capacity` free.
     pub fn new(capacity: u64) -> Self {
-        let mut free = BTreeMap::new();
+        let mut free = DOrdMap::new();
         if capacity > 0 {
             free.insert(0, capacity);
         }
@@ -67,7 +72,7 @@ impl FreeSpace {
         // First fit: the lowest-addressed range long enough; otherwise
         // the longest range available.
         let mut best: Option<(u64, u64)> = None;
-        for (&start, &len) in &self.free {
+        for (&start, &len) in self.free.iter() {
             if len >= want {
                 best = Some((start, len));
                 break;
@@ -192,7 +197,7 @@ impl FreeSpace {
     pub fn allocated_ranges(&self) -> Vec<Run> {
         let mut out = Vec::new();
         let mut cursor = 0u64;
-        for (&fs, &flen) in &self.free {
+        for (&fs, &flen) in self.free.iter() {
             if fs > cursor {
                 out.push(Run {
                     start: BlockNr(cursor),

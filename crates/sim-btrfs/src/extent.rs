@@ -8,8 +8,8 @@
 //! with logically adjacent ones").
 
 use crate::alloc::Run;
+use sim_core::omap::DOrdMap;
 use sim_core::{BlockNr, PageIndex};
-use std::collections::BTreeMap;
 
 /// One extent: `len` pages starting at logical page `logical`, stored at
 /// physical blocks `physical .. physical+len`.
@@ -35,10 +35,15 @@ impl Extent {
 }
 
 /// Sorted extent map of one file.
+///
+/// Backed by [`DOrdMap`] — the FIBMAP translation is a floor query
+/// (`range(..=p).next_back()`) and COW splits walk neighbours, so the
+/// map must stay ordered; the chunked-sorted-vector layout keeps those
+/// queries O(log n) with dense iteration (DESIGN.md §13).
 #[derive(Debug, Clone, Default)]
 pub struct ExtentMap {
     /// logical start -> extent.
-    map: BTreeMap<u64, Extent>,
+    map: DOrdMap<u64, Extent>,
 }
 
 impl ExtentMap {

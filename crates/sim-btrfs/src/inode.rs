@@ -8,8 +8,8 @@
 //! associated bookkeeping.
 
 use crate::extent::ExtentMap;
+use sim_core::dmap::DMap;
 use sim_core::{InodeNr, SimError, SimResult};
-use std::collections::BTreeMap;
 
 /// Whether an inode is a regular file or a directory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,8 +31,10 @@ pub struct Inode {
     pub size_bytes: u64,
     /// Data layout (files only; empty for directories).
     pub extents: ExtentMap,
-    /// Children by name (directories only).
-    pub children: BTreeMap<String, InodeNr>,
+    /// Children by name (directories only). A deterministic hash map:
+    /// point lookups are O(1); order-sensitive consumers go through
+    /// [`Inode::children_sorted`], which restores the B-tree name order.
+    pub children: DMap<String, InodeNr>,
     /// Parent directory (the root is its own parent).
     pub parent: InodeNr,
     /// Name within the parent (empty for the root).
@@ -49,12 +51,34 @@ impl Inode {
     pub fn is_dir(&self) -> bool {
         self.kind == InodeKind::Dir
     }
+
+    /// Name-sorted snapshot of the children — the iteration order the
+    /// directory had when `children` was a `BTreeMap`, for consumers
+    /// whose traversal order is observable (rsync walks in name order,
+    /// Table 3). O(k log k) on the cold path; point lookups stay O(1).
+    pub fn children_sorted(&self) -> Vec<(&str, InodeNr)> {
+        let mut v: Vec<(&str, InodeNr)> = self
+            .children
+            .iter()
+            .map(|(name, &ino)| (name.as_str(), ino))
+            .collect();
+        v.sort_unstable_by_key(|&(name, _)| name);
+        v
+    }
 }
 
 /// The inode table and namespace of one filesystem.
+///
+/// The table itself is a deterministic hash map ([`DMap`]): inode
+/// lookups are the hottest namespace operation and need no order. The
+/// order-sensitive views are explicit snapshots — [`files_by_inode`]
+/// sorts by inode number, [`Inode::children_sorted`] by name — so the
+/// migration off `BTreeMap` left every observable order unchanged.
+///
+/// [`files_by_inode`]: InodeTable::files_by_inode
 #[derive(Debug)]
 pub struct InodeTable {
-    inodes: BTreeMap<InodeNr, Inode>,
+    inodes: DMap<InodeNr, Inode>,
     next: u64,
     root: InodeNr,
 }
@@ -63,7 +87,7 @@ impl InodeTable {
     /// Creates a table containing only the root directory.
     pub fn new() -> Self {
         let root = InodeNr(1);
-        let mut inodes = BTreeMap::new();
+        let mut inodes = DMap::new();
         inodes.insert(
             root,
             Inode {
@@ -71,7 +95,7 @@ impl InodeTable {
                 kind: InodeKind::Dir,
                 size_bytes: 0,
                 extents: ExtentMap::new(),
-                children: BTreeMap::new(),
+                children: DMap::new(),
                 parent: root,
                 name: String::new(),
             },
@@ -139,7 +163,7 @@ impl InodeTable {
                 kind,
                 size_bytes: 0,
                 extents: ExtentMap::new(),
-                children: BTreeMap::new(),
+                children: DMap::new(),
                 parent,
                 name: name.to_string(),
             },
@@ -274,18 +298,22 @@ impl InodeTable {
             return Err(SimError::NotADirectory(format!("{dir}")));
         }
         let mut out = Vec::new();
-        let mut stack: Vec<InodeNr> = node.children.values().rev().copied().collect();
+        let push_children = |stack: &mut Vec<InodeNr>, n: &Inode| {
+            stack.extend(n.children_sorted().into_iter().rev().map(|(_, i)| i));
+        };
+        let mut stack: Vec<InodeNr> = Vec::new();
+        push_children(&mut stack, node);
         while let Some(ino) = stack.pop() {
             let n = self.get(ino)?;
             out.push((ino, n.is_dir()));
             if n.is_dir() {
-                stack.extend(n.children.values().rev().copied());
+                push_children(&mut stack, n);
             }
         }
         Ok(out)
     }
 
-    /// Iterates over all inodes in unspecified order.
+    /// Iterates over all inodes in unspecified (deterministic) order.
     pub fn iter(&self) -> impl Iterator<Item = &Inode> + '_ {
         self.inodes.values()
     }
@@ -405,5 +433,60 @@ mod tests {
     fn walk_on_file_is_error() {
         let (t, _, f1, _) = setup();
         assert!(t.walk_depth_first(f1).is_err());
+    }
+
+    /// `children_sorted` is the key-sorted snapshot the `DMap`
+    /// migration promised: creation order and rename history must be
+    /// unobservable — only the current names matter.
+    #[test]
+    fn children_sorted_is_name_ordered_whatever_the_history() {
+        let mut t = InodeTable::new();
+        let dir = t.create(t.root(), "d", InodeKind::Dir).unwrap();
+        // Created deliberately out of name order.
+        let z = t.create(dir, "zeta", InodeKind::File).unwrap();
+        let a = t.create(dir, "alpha", InodeKind::File).unwrap();
+        let m = t.create(dir, "mid", InodeKind::File).unwrap();
+        let names = |t: &InodeTable| -> Vec<(String, InodeNr)> {
+            t.get(dir)
+                .unwrap()
+                .children_sorted()
+                .into_iter()
+                .map(|(n, i)| (n.to_string(), i))
+                .collect()
+        };
+        assert_eq!(
+            names(&t),
+            vec![
+                ("alpha".to_string(), a),
+                ("mid".to_string(), m),
+                ("zeta".to_string(), z)
+            ]
+        );
+        // A rename re-slots the entry under its new name.
+        t.rename(z, dir, "beta").unwrap();
+        assert_eq!(
+            names(&t),
+            vec![
+                ("alpha".to_string(), a),
+                ("beta".to_string(), z),
+                ("mid".to_string(), m)
+            ]
+        );
+        // And the rsync-order walk follows the new name order too.
+        let walk = t.walk_depth_first(dir).unwrap();
+        let inos: Vec<InodeNr> = walk.iter().map(|(i, _)| *i).collect();
+        assert_eq!(inos, vec![a, z, m]);
+    }
+
+    /// Rename across directories: the entry leaves the old parent's
+    /// sorted view and appears in the new parent's at its name slot.
+    #[test]
+    fn rename_across_dirs_updates_both_sorted_views() {
+        let (mut t, dir, f1, _) = setup();
+        let other = t.create(t.root(), "other", InodeKind::Dir).unwrap();
+        t.rename(f1, other, "zz.txt").unwrap();
+        assert!(t.get(dir).unwrap().children_sorted().is_empty());
+        let got = t.get(other).unwrap().children_sorted();
+        assert_eq!(got, vec![("zz.txt", f1)]);
     }
 }

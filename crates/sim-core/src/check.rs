@@ -8,6 +8,14 @@
 //! Properties report failure either by returning `Err(String)` or by
 //! panicking (e.g. via `assert_eq!`); both are captured and turned into
 //! a [`CheckFailure`] naming the reproducing seed.
+//!
+//! [`differential`] builds on the same machinery for **differential
+//! model testing**: a seeded stream of operations is generated into an
+//! explicit op log, the log is replayed against both the container
+//! under test and a reference oracle (typically `BTreeMap`), and a
+//! failing log is *shrunk* — greedy delta-debugging over the op list —
+//! before being reported, so the failure names both the replay seed and
+//! a minimal operation sequence.
 
 use crate::rng::SimRng;
 use std::fmt;
@@ -98,6 +106,177 @@ where
     Ok(())
 }
 
+/// Configuration for a differential (container vs oracle) run.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffConfig {
+    /// Test name used in failure reports.
+    pub name: &'static str,
+    /// Number of independent op-log cases (≥ 10 for the CI fuzz bar).
+    pub cases: u64,
+    /// Operations generated per case.
+    pub ops: u64,
+    /// Base seed; case `i` generates its log from `seed ^ i`.
+    pub seed: u64,
+}
+
+impl DiffConfig {
+    /// A config with the default budget of 16 cases × 2000 ops.
+    pub fn new(name: &'static str, seed: u64) -> DiffConfig {
+        DiffConfig {
+            name,
+            cases: 16,
+            ops: 2000,
+            seed,
+        }
+    }
+
+    /// Override the case budget.
+    pub fn cases(mut self, cases: u64) -> DiffConfig {
+        self.cases = cases;
+        self
+    }
+
+    /// Override the per-case op budget.
+    pub fn ops(mut self, ops: u64) -> DiffConfig {
+        self.ops = ops;
+        self
+    }
+}
+
+/// A failed differential case: the replay seed plus the shrunk op log.
+#[derive(Clone)]
+pub struct DiffFailure {
+    /// Test name from the config.
+    pub name: &'static str,
+    /// Which case (0-based) failed.
+    pub case: u64,
+    /// Seed that regenerates the *full* failing op log.
+    pub case_seed: u64,
+    /// Failure message from the minimized replay.
+    pub message: String,
+    /// Debug renderings of the minimized failing op log.
+    pub ops: Vec<String>,
+    /// Length of the log before shrinking.
+    pub original_len: usize,
+}
+
+impl fmt::Display for DiffFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "differential test '{}' failed at case {}: {}\n  replay: seed {:#x} \
+             (DUET_CHECK_SEED overrides the base seed)\n  shrunk {} ops -> {}:",
+            self.name,
+            self.case,
+            self.message,
+            self.case_seed,
+            self.original_len,
+            self.ops.len()
+        )?;
+        for op in &self.ops {
+            writeln!(f, "    {op}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for DiffFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Runs `replay` (which must apply the ops to both the container under
+/// test and the reference oracle, comparing observables as it goes)
+/// over `cfg.cases` independently seeded op logs produced by `generate`.
+/// On the first failing log, greedily shrinks it to a locally minimal
+/// failing subsequence and reports that.
+///
+/// `replay` fails by returning `Err` or by panicking (`assert_eq!`);
+/// both are captured. Generation is split from replay precisely so the
+/// shrinker can re-run arbitrary sub-logs.
+pub fn differential<Op, G, R>(
+    cfg: &DiffConfig,
+    mut generate: G,
+    mut replay: R,
+) -> Result<(), DiffFailure>
+where
+    Op: Clone + fmt::Debug,
+    G: FnMut(&mut SimRng, u64) -> Op,
+    R: FnMut(&[Op]) -> Result<(), String>,
+{
+    for case in 0..cfg.cases {
+        let case_seed = cfg.seed ^ case;
+        let mut rng = SimRng::new(case_seed);
+        let log: Vec<Op> = (0..cfg.ops).map(|i| generate(&mut rng, i)).collect();
+        let Some(message) = run_log(&mut replay, &log) else {
+            continue;
+        };
+        let original_len = log.len();
+        let (shrunk, message) = shrink(&mut replay, log, message);
+        return Err(DiffFailure {
+            name: cfg.name,
+            case,
+            case_seed,
+            message,
+            ops: shrunk.iter().map(|op| format!("{op:?}")).collect(),
+            original_len,
+        });
+    }
+    Ok(())
+}
+
+/// Replays a log, capturing panics. `None` = passed, `Some(msg)` = failed.
+fn run_log<Op, R>(replay: &mut R, log: &[Op]) -> Option<String>
+where
+    R: FnMut(&[Op]) -> Result<(), String>,
+{
+    match panic::catch_unwind(AssertUnwindSafe(|| replay(log))) {
+        Ok(Ok(())) => None,
+        Ok(Err(msg)) => Some(msg),
+        Err(payload) => Some(panic_message(payload.as_ref())),
+    }
+}
+
+/// Greedy delta-debugging: repeatedly delete chunks (halving the chunk
+/// size down to single ops) while the log still fails. Deterministic —
+/// pure function of the starting log and the replay outcome.
+fn shrink<Op, R>(replay: &mut R, mut log: Vec<Op>, mut message: String) -> (Vec<Op>, String)
+where
+    Op: Clone,
+    R: FnMut(&[Op]) -> Result<(), String>,
+{
+    let mut chunk = (log.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < log.len() {
+            let end = (start + chunk).min(log.len());
+            let mut candidate = Vec::with_capacity(log.len() - (end - start));
+            candidate.extend_from_slice(&log[..start]);
+            candidate.extend_from_slice(&log[end..]);
+            if candidate.is_empty() {
+                start = end;
+                continue;
+            }
+            if let Some(msg) = run_log(replay, &candidate) {
+                log = candidate;
+                message = msg;
+                progressed = true;
+                // Re-test the same offset: the next chunk slid into it.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !progressed {
+            return (log, message);
+        }
+        if !progressed {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -154,6 +333,69 @@ mod tests {
         .unwrap_err();
         assert_eq!(failure.case, 2);
         assert!(failure.message.contains("panicked with x="));
+    }
+
+    #[test]
+    fn differential_passes_when_models_agree() {
+        let cfg = DiffConfig::new("agree", 0xD1FF).cases(4).ops(200);
+        let mut replays = 0u64;
+        differential(
+            &cfg,
+            |rng, _| rng.gen_range(0, 100),
+            |log: &[u64]| {
+                replays += 1;
+                // Two identical folds over the log always agree.
+                let a: u64 = log.iter().sum();
+                let b: u64 = log.iter().sum();
+                if a == b {
+                    Ok(())
+                } else {
+                    Err("sum mismatch".into())
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(replays, 4, "one replay per passing case");
+    }
+
+    #[test]
+    fn differential_shrinks_to_minimal_failing_log() {
+        // A "model" that breaks iff the log contains both a 7 and a 13:
+        // the minimal failing log is exactly two ops.
+        let cfg = DiffConfig::new("shrinks", 0).cases(8).ops(400);
+        let failure = differential(
+            &cfg,
+            |rng, _| rng.gen_range(0, 16),
+            |log: &[u64]| {
+                if log.contains(&7) && log.contains(&13) {
+                    Err("7 and 13 collided".into())
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .unwrap_err();
+        assert_eq!(failure.ops.len(), 2, "{failure}");
+        assert_eq!(failure.original_len, 400);
+        assert!(failure.message.contains("collided"));
+        let report = failure.to_string();
+        assert!(report.contains("replay: seed"), "{report}");
+        assert!(report.contains("shrunk 400 ops -> 2"), "{report}");
+    }
+
+    #[test]
+    fn differential_captures_panics_and_reports_seed() {
+        let cfg = DiffConfig::new("panics", 0xBAD).cases(3).ops(10);
+        let failure = differential(
+            &cfg,
+            |rng, _| rng.gen_range(0, 4),
+            |_log: &[u64]| -> Result<(), String> { panic!("kaboom") },
+        )
+        .unwrap_err();
+        assert_eq!(failure.case, 0);
+        assert_eq!(failure.case_seed, 0xBAD);
+        assert!(failure.message.contains("kaboom"));
+        assert_eq!(failure.ops.len(), 1, "shrunk to a single op");
     }
 
     #[test]

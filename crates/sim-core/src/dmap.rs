@@ -26,6 +26,7 @@
 //! sorts the collected keys explicitly — O(k log k) on the cold path,
 //! instead of O(log n) on every hot-path touch.
 
+use std::borrow::Borrow;
 use std::fmt;
 
 /// Fixed hash seed: an arbitrary odd constant, deliberately *not*
@@ -69,15 +70,24 @@ macro_rules! dethash_int {
 }
 dethash_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
-impl DetHash for &str {
+impl DetHash for str {
     #[inline]
     fn det_hash(&self, seed: u64) -> u64 {
         // FNV-1a over the bytes, seed folded into the offset basis.
+        // `str`, `&str` and `String` must hash identically so a
+        // `DMap<String, _>` can be probed with a borrowed `&str`.
         let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
         for &b in self.as_bytes() {
             h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
         }
         mix64(h)
+    }
+}
+
+impl DetHash for &str {
+    #[inline]
+    fn det_hash(&self, seed: u64) -> u64 {
+        (**self).det_hash(seed)
     }
 }
 
@@ -223,9 +233,14 @@ impl<K: DetHash + Eq, V> DMap<K, V> {
 
     /// Probes for `key`. Returns `(bucket, Some(entry_idx))` on a hit
     /// or `(first_empty_bucket, None)` on a miss. Requires non-empty
-    /// `buckets`.
+    /// `buckets`. Generic over the borrowed form of the key (`&str`
+    /// probing a `String`-keyed map), which must hash identically.
     #[inline]
-    fn probe(&self, key: &K) -> (usize, Option<usize>) {
+    fn probe<Q>(&self, key: &Q) -> (usize, Option<usize>)
+    where
+        K: Borrow<Q>,
+        Q: DetHash + Eq + ?Sized,
+    {
         let mask = self.mask();
         let mut b = (key.det_hash(self.seed) as usize) & mask;
         loop {
@@ -234,7 +249,7 @@ impl<K: DetHash + Eq, V> DMap<K, V> {
                 return (b, None);
             }
             let idx = slot as usize;
-            if self.entries[idx].0 == *key {
+            if self.entries[idx].0.borrow() == key {
                 return (b, Some(idx));
             }
             b = (b + 1) & mask;
@@ -277,9 +292,14 @@ impl<K: DetHash + Eq, V> DMap<K, V> {
         }
     }
 
-    /// Looks a key up.
+    /// Looks a key up. Accepts the key's borrowed form, like
+    /// `BTreeMap::get` (`map_of_strings.get("name")`).
     #[inline]
-    pub fn get(&self, key: &K) -> Option<&V> {
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: DetHash + Eq + ?Sized,
+    {
         if self.buckets.is_empty() {
             return None;
         }
@@ -289,7 +309,11 @@ impl<K: DetHash + Eq, V> DMap<K, V> {
 
     /// Looks a key up, mutably.
     #[inline]
-    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: DetHash + Eq + ?Sized,
+    {
         if self.buckets.is_empty() {
             return None;
         }
@@ -299,7 +323,11 @@ impl<K: DetHash + Eq, V> DMap<K, V> {
 
     /// Returns `true` if the key is present.
     #[inline]
-    pub fn contains_key(&self, key: &K) -> bool {
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: DetHash + Eq + ?Sized,
+    {
         !self.buckets.is_empty() && self.probe(key).1.is_some()
     }
 
@@ -325,7 +353,11 @@ impl<K: DetHash + Eq, V> DMap<K, V> {
     /// O(1): the dense array swap-fills from its tail, and the bucket
     /// table repairs its probe chain by backward shifting (the
     /// tombstone-free deletion of ordered open addressing).
-    pub fn remove(&mut self, key: &K) -> Option<V> {
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: DetHash + Eq + ?Sized,
+    {
         if self.buckets.is_empty() {
             return None;
         }
@@ -441,13 +473,21 @@ impl<K: DetHash + Eq> DSet<K> {
     }
 
     /// Removes a member. Returns `true` if it was present.
-    pub fn remove(&mut self, key: &K) -> bool {
+    pub fn remove<Q>(&mut self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: DetHash + Eq + ?Sized,
+    {
         self.map.remove(key).is_some()
     }
 
-    /// Membership test.
+    /// Membership test. Accepts the key's borrowed form.
     #[inline]
-    pub fn contains(&self, key: &K) -> bool {
+    pub fn contains<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: DetHash + Eq + ?Sized,
+    {
         self.map.contains_key(key)
     }
 
@@ -662,26 +702,58 @@ mod tests {
 
     #[test]
     fn matches_reference_map_under_random_ops() {
-        for case in 0..32u64 {
-            let mut rng = SimRng::new(0xD3A9 ^ case);
-            let mut m: DMap<u64, u64> = DMap::new();
-            let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
-            for _ in 0..rng.gen_range(100, 1500) {
+        // The dmap reference-fuzz pattern, expressed through the
+        // generalized differential helper (op-log generation, BTreeMap
+        // oracle, shrink-on-failure).
+        use crate::check::{differential, DiffConfig};
+        let cfg = DiffConfig::new("dmap-vs-btreemap", 0xD3A9)
+            .cases(32)
+            .ops(1500);
+        differential(
+            &cfg,
+            |rng, _| {
                 let k = rng.gen_range(0, 200);
                 let v = rng.gen_range(0, 1_000_000);
-                match rng.gen_range(0, 4) {
-                    0 | 1 => assert_eq!(m.insert(k, v), reference.insert(k, v)),
-                    2 => assert_eq!(m.remove(&k), reference.remove(&k)),
-                    _ => assert_eq!(m.get(&k), reference.get(&k)),
+                (rng.gen_range(0, 4), k, v)
+            },
+            |log: &[(u64, u64, u64)]| {
+                let mut m: DMap<u64, u64> = DMap::new();
+                let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
+                for &(op, k, v) in log {
+                    match op {
+                        0 | 1 => assert_eq!(m.insert(k, v), reference.insert(k, v)),
+                        2 => assert_eq!(m.remove(&k), reference.remove(&k)),
+                        _ => assert_eq!(m.get(&k), reference.get(&k)),
+                    }
+                    assert_eq!(m.len(), reference.len());
                 }
-                assert_eq!(m.len(), reference.len());
-            }
-            // Same contents, independent of order.
-            let mut got: Vec<(u64, u64)> = m.iter().map(|(k, v)| (*k, *v)).collect();
-            got.sort_unstable();
-            let want: Vec<(u64, u64)> = reference.iter().map(|(k, v)| (*k, *v)).collect();
-            assert_eq!(got, want);
-        }
+                // Same contents, independent of order.
+                let mut got: Vec<(u64, u64)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+                got.sort_unstable();
+                let want: Vec<(u64, u64)> = reference.iter().map(|(k, v)| (*k, *v)).collect();
+                assert_eq!(got, want);
+                Ok(())
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn string_keyed_map_probes_with_borrowed_str() {
+        let mut m: DMap<String, u32> = DMap::new();
+        m.insert("alpha".to_string(), 1);
+        m.insert("beta".to_string(), 2);
+        // Borrowed-form lookups must hit without allocating a String.
+        assert_eq!(m.get("alpha"), Some(&1));
+        assert!(m.contains_key("beta"));
+        assert_eq!(m.get_mut("beta").copied(), Some(2));
+        assert_eq!(m.get("gamma"), None);
+        assert_eq!(m.remove("alpha"), Some(1));
+        assert_eq!(m.get("alpha"), None);
+        // str / &str / String hash agreement is what makes this sound.
+        let s = "delta".to_string();
+        assert_eq!(s.det_hash(7), "delta".det_hash(7));
+        assert_eq!(s.det_hash(7), (*s).det_hash(7));
     }
 
     #[test]

@@ -35,6 +35,11 @@
 //!   plus a slab arena ([`dmap::Slab`]) with stable `u32` handles — the
 //!   hot-path replacements for the B-tree maps that PR 1's determinism
 //!   pass left on the page-cache and priority-queue inner loops.
+//! - [`omap`]: the deterministic **ordered** companion
+//!   ([`omap::DOrdMap`]): a chunked sorted vector with O(log n)
+//!   lookups, `range`/`next_back` and neighbour queries, and sorted
+//!   cache-friendly iteration — for the extent-map and free-space hot
+//!   paths that need order, which [`dmap::DMap`] cannot provide.
 
 pub mod bitmap;
 pub mod check;
@@ -43,6 +48,7 @@ pub mod dmap;
 pub mod error;
 pub mod fault;
 pub mod ids;
+pub mod omap;
 pub mod rng;
 pub mod stats;
 pub mod trace;
@@ -59,6 +65,7 @@ pub use ids::{
     PageIndex,
     SegmentNr, //
 };
+pub use omap::DOrdMap;
 pub use rng::SimRng;
 pub use trace::{SpanId, TraceEvent, TraceHandle, TraceLayer};
 

@@ -18,6 +18,7 @@
 
 use crate::segment::{segment_of, segment_start, SegState, SegmentInfo};
 use sim_cache::{PageCache, PageKey, PageMeta};
+use sim_core::dmap::DMap;
 use sim_core::fault::FaultHandle;
 use sim_core::trace::{TraceHandle, TraceLayer};
 use sim_core::{
@@ -32,7 +33,6 @@ use sim_core::{
     PAGE_SIZE, //
 };
 use sim_disk::{Disk, IoClass, IoKind, IoRequest, RetryPolicy};
-use std::collections::BTreeMap;
 
 /// I/O accounting for one operation (mirror of the Btrfs-side struct,
 /// kept separate so the crates stay independent).
@@ -109,8 +109,12 @@ pub struct F2fsSim {
     /// Per-block owner (ino, page), NO_OWNER if invalid.
     owner_ino: Vec<u64>,
     owner_idx: Vec<u64>,
-    inodes: BTreeMap<InodeNr, F2fsInode>,
-    names: BTreeMap<String, InodeNr>,
+    /// Inode table: a deterministic hash map — lookups are the hot
+    /// path; the key-sorted view is the [`files`](F2fsSim::files)
+    /// snapshot, which preserves the old B-tree iteration order.
+    inodes: DMap<InodeNr, F2fsInode>,
+    /// Name → inode, probed with borrowed `&str` keys.
+    names: DMap<String, InodeNr>,
     next_ino: u64,
     /// Log head: segment and next offset within it.
     head_seg: SegmentNr,
@@ -148,8 +152,8 @@ impl F2fsSim {
             valid: vec![false; capacity as usize],
             owner_ino: vec![NO_OWNER; capacity as usize],
             owner_idx: vec![0; capacity as usize],
-            inodes: BTreeMap::new(),
-            names: BTreeMap::new(),
+            inodes: DMap::new(),
+            names: DMap::new(),
             next_ino: 1,
             head_seg: SegmentNr(0),
             head_off: 0,
@@ -787,7 +791,7 @@ impl F2fsSim {
         // Mappings → blocks, each claimed exactly once with a matching
         // owner record.
         let mut claimed = vec![false; capacity as usize];
-        for (&ino, node) in &self.inodes {
+        for (ino, node) in self.inodes.iter() {
             for (p, slot) in node.map.iter().enumerate() {
                 let Some(b) = slot else { continue };
                 let i = b.raw() as usize;
@@ -799,7 +803,7 @@ impl F2fsSim {
                     return fail(format!("mapped block {b} is invalid"));
                 }
                 match self.owner_of(*b) {
-                    Some((o_ino, o_idx)) if o_ino == ino && o_idx.raw() == p as u64 => {}
+                    Some((o_ino, o_idx)) if o_ino == *ino && o_idx.raw() == p as u64 => {}
                     other => {
                         return fail(format!("block {b}: owner {other:?} != ({ino}, pg {p})"));
                     }
@@ -1048,6 +1052,43 @@ mod tests {
             fs.create_file("x"),
             Err(SimError::AlreadyExists(_))
         ));
+    }
+
+    /// Deleting a file frees its name for re-creation, and the lookup
+    /// then resolves to the *new* inode — the backward-shift deletion
+    /// of the `DMap` name table must leave no stale entry behind.
+    #[test]
+    fn name_lookup_after_delete_and_recreate() {
+        let mut fs = make_fs(8, 16, 64);
+        let a = fs.populate_file("a", pb(3)).unwrap();
+        let b = fs.populate_file("b", pb(2)).unwrap();
+        fs.delete_file(a).unwrap();
+        assert_eq!(fs.lookup("a"), None, "deleted name must not resolve");
+        assert_eq!(fs.lookup("b"), Some(b), "sibling survives the shift");
+        let a2 = fs.create_file("a").unwrap();
+        assert_ne!(a2, a, "re-creation allocates a fresh inode");
+        assert_eq!(fs.lookup("a"), Some(a2));
+        assert!(!fs.exists(a) && fs.exists(a2));
+        fs.check_consistency().unwrap();
+    }
+
+    /// `files()` is the key-sorted snapshot over the `DMap` inode
+    /// table: ascending inode order regardless of creation, deletion
+    /// and re-creation history.
+    #[test]
+    fn files_snapshot_is_inode_sorted_after_churn() {
+        let mut fs = make_fs(8, 16, 64);
+        let mut live: Vec<InodeNr> = (0..6)
+            .map(|i| fs.populate_file(&format!("f{i}"), pb(1)).unwrap())
+            .collect();
+        // Delete from the middle and the front, then add more.
+        fs.delete_file(live.remove(3)).unwrap();
+        fs.delete_file(live.remove(0)).unwrap();
+        live.push(fs.populate_file("g0", pb(1)).unwrap());
+        live.push(fs.populate_file("g1", pb(1)).unwrap());
+        live.sort_unstable();
+        assert_eq!(fs.files(), live);
+        fs.check_consistency().unwrap();
     }
 
     #[test]

@@ -41,10 +41,16 @@ pub fn find(t: &[Token], rules: RuleSet) -> Vec<(usize, Rule, String, String)> {
                 s.into(),
                 format!(
                     "hash-ordered `{s}` can leak iteration order into events/results — use \
-                     `BTree{0}` or the seeded `sim_core::dmap::{1}` (deterministic iteration), \
+                     `BTree{0}`, the seeded `sim_core::dmap::{1}` (deterministic iteration){2}, \
                      or waive with `// lint: sorted`",
                     &s[4..],
-                    if s == "HashMap" { "DMap" } else { "DSet" }
+                    if s == "HashMap" { "DMap" } else { "DSet" },
+                    if s == "HashMap" {
+                        " or the ordered `sim_core::omap::DOrdMap` (sorted iteration, \
+                         range/neighbour queries)"
+                    } else {
+                        ""
+                    }
                 ),
             ));
         }

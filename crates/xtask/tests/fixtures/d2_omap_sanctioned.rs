@@ -1,0 +1,34 @@
+// Fixture: the deterministic *ordered* container is sanctioned too —
+// D2 must leave `DOrdMap` alone, flag the `HashMap` next to it (and
+// point at `omap::DOrdMap` in the diagnostic), and honour the
+// `// lint: sorted` waiver on the second hash map.
+use sim_core::omap::DOrdMap;
+use std::collections::HashMap;
+
+pub struct FreeSpace {
+    by_start: DOrdMap<u64, u64>,
+    // The one violation in this file:
+    legacy: HashMap<u64, u64>,
+    // Collected into a Vec and sorted before anything observable:
+    histogram: HashMap<u64, u64>, // lint: sorted
+}
+
+pub fn first_fit(fs: &FreeSpace, want: u64) -> Option<u64> {
+    for (&start, &len) in fs.by_start.iter() {
+        if len >= want {
+            return Some(start);
+        }
+    }
+    None
+}
+
+pub fn floor_query(fs: &FreeSpace, at: u64) -> Option<(u64, u64)> {
+    fs.by_start.range(..=at).next_back().map(|(&s, &l)| (s, l))
+}
+
+pub fn sorted_histogram(fs: &FreeSpace) -> Vec<(u64, u64)> {
+    let mut v: Vec<(u64, u64)> = fs.histogram.iter().map(|(&k, &n)| (k, n)).collect();
+    v.sort_unstable();
+    v.push((fs.legacy.len() as u64, 0));
+    v
+}

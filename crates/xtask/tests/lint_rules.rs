@@ -53,6 +53,26 @@ fn d2_sanctions_dmap_containers() {
     );
 }
 
+/// The ordered deterministic container (`sim_core::omap::DOrdMap`)
+/// iterates in key order, so D2 must sanction it the same way: never
+/// flag it, name it in the `HashMap` diagnostic as the ordered
+/// alternative, and still honour the `// lint: sorted` waiver.
+#[test]
+fn d2_sanctions_omap_ordered_container() {
+    let v = lint_fixture("d2_omap_sanctioned.rs");
+    assert!(v.iter().all(|x| x.rule == Rule::D2), "{v:?}");
+    let tokens: Vec<&str> = v.iter().map(|x| x.token.as_str()).collect();
+    assert_eq!(
+        tokens,
+        vec!["HashMap", "HashMap"],
+        "import + unwaived field only (the `// lint: sorted` one is waived): {v:?}"
+    );
+    assert!(
+        v.iter().all(|x| x.message.contains("omap::DOrdMap")),
+        "the diagnostic must name the sanctioned ordered container: {v:?}"
+    );
+}
+
 #[test]
 fn d3_flags_panic_paths() {
     let v = lint_fixture("d3_panics.rs");

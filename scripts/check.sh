@@ -32,6 +32,14 @@ cargo run -q -p xtask -- lint
 echo "==> cargo test --workspace"
 cargo test -q --workspace
 
+echo "==> differential container fuzz (fixed seed)"
+# DOrdMap (and DMap) against their std oracles under a pinned base
+# seed: every case seed derives from it, and a failure prints the
+# shrunk op log plus the seed to replay. CI runs a second pass with a
+# rotating (but logged) DUET_CHECK_SEED, mirroring the fault-matrix
+# split below.
+DUET_CHECK_SEED=0xd1ffba5e cargo test -q -p sim-core --release --test omap_differential
+
 echo "==> fault matrix (fixed seed)"
 # The deterministic anchor: the full task × fault-plan grid under a
 # pinned seed. CI runs a second pass with a rotating (but logged) seed;

@@ -275,6 +275,72 @@ fn prioqueue_pop_log_matches_committed_fixture() {
     );
 }
 
+/// The scripted extent-map op mix — overlapping COW mappings, unmaps,
+/// FIBMAP translations and clears — must replay the committed log
+/// exactly: every displaced block, extent count and in-order extent
+/// list. This pins the `BTreeMap` → `DOrdMap` migration of the btrfs
+/// extent map at the finest grain.
+#[test]
+fn extent_oplog_matches_committed_fixture() {
+    let got = duet_repro::experiments::golden::extent_oplog(0xE47E, 4000);
+    assert_eq!(
+        got,
+        include_str!("fixtures/golden_extent_oplog.txt"),
+        "extent-map op-mix log diverged from the committed golden fixture"
+    );
+}
+
+/// `DOrdMap` must be seed-independent by construction: its iteration
+/// order is the key order, whatever hash or fault seed the process
+/// carries. We pin that by replaying the extent op mix under several
+/// `DUET_FAULT_SEED` values — the env var every seeded component in
+/// the stack consults — and demanding byte-identical logs. (Edition
+/// 2021: `set_var` is safe; the test reads the seed only through
+/// constructors that run after each set.)
+#[test]
+fn extent_oplog_is_independent_of_fault_seed_env() {
+    let baseline = duet_repro::experiments::golden::extent_oplog(0xE47E, 1000);
+    for seed in ["1", "0xdeadbeef", "9999999"] {
+        std::env::set_var("DUET_FAULT_SEED", seed);
+        let got = duet_repro::experiments::golden::extent_oplog(0xE47E, 1000);
+        std::env::remove_var("DUET_FAULT_SEED");
+        assert_eq!(
+            got, baseline,
+            "extent-map log changed under DUET_FAULT_SEED={seed}"
+        );
+    }
+}
+
+/// The same seed-independence for `DOrdMap` directly: insertion order,
+/// hash-seed environment and chunk geometry are all unobservable — the
+/// sorted iteration, ranges and neighbour queries depend on the key
+/// set alone.
+#[test]
+fn dordmap_iteration_is_seed_and_insertion_order_independent() {
+    use duet_repro::sim_core::omap::DOrdMap;
+    let keys: Vec<u64> = (0..257).map(|i| (i * 131) % 997).collect();
+    let collect =
+        |m: &DOrdMap<u64, u64>| -> Vec<(u64, u64)> { m.iter().map(|(&k, &v)| (k, v)).collect() };
+    // Ascending insertion, no env seed.
+    let mut a = DOrdMap::new();
+    for &k in &keys {
+        a.insert(k, k * 2);
+    }
+    // Reversed insertion under a hostile env seed, tiny chunks.
+    std::env::set_var("DUET_FAULT_SEED", "0x5eed");
+    let mut b = DOrdMap::with_chunk_max(2);
+    for &k in keys.iter().rev() {
+        b.insert(k, k * 2);
+    }
+    std::env::remove_var("DUET_FAULT_SEED");
+    assert_eq!(collect(&a), collect(&b));
+    let sorted: Vec<u64> = collect(&a).iter().map(|&(k, _)| k).collect();
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+    expect.dedup();
+    assert_eq!(sorted, expect, "iteration is exactly the sorted key set");
+}
+
 /// The traced seed-7 run's digests (golden CSV, JSONL stream, counters)
 /// must match the committed fixture. The fixture records whether it was
 /// produced with tracing compiled in; a mismatched build skips rather
