@@ -16,7 +16,7 @@
 use crate::trace::{self, TraceAgg};
 use crate::{pct, pool, BenchResult, Report, Sink};
 use experiments::{
-    max_utilization, paper_scaled, run_experiment_cached_traced, ProfileCache, TaskKind,
+    max_utilization, paper_scaled, run_completion_probe_cached, ProfileCache, TaskKind,
 };
 use sim_core::SimResult;
 use workloads::{DistKind, Personality};
@@ -38,7 +38,12 @@ fn cell(
         if task == TaskKind::Defrag {
             cfg.fragmentation = Some((0.1, 5));
         }
-        Ok(run_experiment_cached_traced(&cfg, profiles, handle.as_ref())?.all_completed())
+        // The completion probe stops simulating the moment the last
+        // task finishes — the bit it returns is exactly what the full
+        // run's `all_completed()` would be, for a fraction of the wall
+        // time. Forked setup prefixes (experiments::snapshot) make the
+        // bisection's repeat builds nearly free on top of that.
+        run_completion_probe_cached(&cfg, profiles, handle.as_ref())
     };
     let label = match max_utilization(completes)? {
         Some(u) => pct(u),

@@ -390,12 +390,32 @@ fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
 }
 
-fn tolerance(var: &str, default: f64) -> f64 {
-    std::env::var(var)
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|t: &f64| *t >= 0.0)
-        .unwrap_or(default)
+/// Parses a gate tolerance from an env value. A malformed or
+/// non-finite value is a hard error, not a silent fallback: `0,2`
+/// would otherwise quietly loosen to the default, and `inf` would
+/// make the gate unfailable.
+fn parse_tolerance(var: &str, value: Option<&str>, default: f64) -> Result<f64, String> {
+    let Some(raw) = value else {
+        return Ok(default);
+    };
+    let t: f64 = raw
+        .trim()
+        .parse()
+        .map_err(|_| format!("{var}={raw:?} is not a number (e.g. 0.10 for 10%)"))?;
+    if !t.is_finite() {
+        return Err(format!(
+            "{var}={raw:?} must be finite (an infinite tolerance disables the gate)"
+        ));
+    }
+    if t < 0.0 {
+        return Err(format!("{var}={raw:?} must be >= 0"));
+    }
+    Ok(t)
+}
+
+fn tolerance(var: &str, default: f64) -> Result<f64, String> {
+    let value = std::env::var(var).ok();
+    parse_tolerance(var, value.as_deref(), default)
 }
 
 fn write_baseline() -> Result<(), String> {
@@ -440,8 +460,8 @@ fn run_gate() -> Result<(), String> {
     let sweeps = read("results/BENCH_sweeps.json")?;
     let micro = read("results/BENCH_micro.json")?;
     let baseline = read("results/BENCH_baseline.json")?;
-    let tol = tolerance("DUET_GATE_TOL", 0.10);
-    let tol_micro = tolerance("DUET_GATE_TOL_MICRO", 0.35);
+    let tol = tolerance("DUET_GATE_TOL", 0.10)?;
+    let tol_micro = tolerance("DUET_GATE_TOL_MICRO", 0.35)?;
     let mut failures: Vec<String> = Vec::new();
     let mut checked = 0usize;
 
@@ -544,5 +564,48 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_tolerance;
+
+    #[test]
+    fn tolerance_unset_uses_default() {
+        assert_eq!(parse_tolerance("DUET_GATE_TOL", None, 0.10), Ok(0.10));
+    }
+
+    #[test]
+    fn tolerance_parses_valid_values() {
+        assert_eq!(
+            parse_tolerance("DUET_GATE_TOL", Some("0.25"), 0.10),
+            Ok(0.25)
+        );
+        assert_eq!(parse_tolerance("DUET_GATE_TOL", Some("0"), 0.10), Ok(0.0));
+        // Surrounding whitespace is harmless.
+        assert_eq!(
+            parse_tolerance("DUET_GATE_TOL", Some(" 0.5 "), 0.10),
+            Ok(0.5)
+        );
+    }
+
+    #[test]
+    fn tolerance_rejects_malformed_values() {
+        // A locale-style decimal comma must not silently fall back.
+        let err = parse_tolerance("DUET_GATE_TOL", Some("0,2"), 0.10).unwrap_err();
+        assert!(err.contains("DUET_GATE_TOL"), "{err}");
+        assert!(err.contains("not a number"), "{err}");
+        assert!(parse_tolerance("DUET_GATE_TOL", Some(""), 0.10).is_err());
+        assert!(parse_tolerance("DUET_GATE_TOL", Some("ten"), 0.10).is_err());
+    }
+
+    #[test]
+    fn tolerance_rejects_non_finite_and_negative() {
+        // `inf` parses as f64 but would make the gate unfailable.
+        let err = parse_tolerance("DUET_GATE_TOL_MICRO", Some("inf"), 0.35).unwrap_err();
+        assert!(err.contains("finite"), "{err}");
+        assert!(parse_tolerance("DUET_GATE_TOL", Some("NaN"), 0.10).is_err());
+        assert!(parse_tolerance("DUET_GATE_TOL", Some("-0.1"), 0.10).is_err());
     }
 }

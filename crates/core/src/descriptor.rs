@@ -122,6 +122,19 @@ impl Descriptor {
         }
     }
 
+    /// Feeds the descriptor's complete state (including every
+    /// per-session flag byte) into a fork-equivalence digest.
+    pub(crate) fn digest_state(&self, d: &mut sim_core::snapshot::Digest) {
+        d.write_bool(self.block.is_some());
+        d.write_u64(self.block.map_or(0, |b| b.raw()));
+        d.write_bool(self.cur_exists);
+        d.write_bool(self.cur_modified);
+        d.write_usize(self.sess.len());
+        for f in self.sess.iter() {
+            d.write_u32(f.0 as u32);
+        }
+    }
+
     /// Whether the given session has anything pending on this page.
     pub(crate) fn pending_for(&self, slot: usize, mask: EventMask) -> bool {
         let f = self.sess[slot];

@@ -49,9 +49,19 @@ pub struct DuetStats {
 }
 
 /// The Duet framework instance for one device's storage stack.
+#[derive(Clone)]
 pub struct Duet {
     cfg: DuetConfig,
     sessions: Vec<Option<Session>>,
+    /// Per-slot event masks, kept in lockstep with `sessions` (a mask
+    /// never changes while its session lives). Derived state — the
+    /// event intake and descriptor GC consult it on every page event,
+    /// and rebuilding it there dominated those paths.
+    masks: Vec<Option<EventMask>>,
+    /// Reusable pass-1/pass-2 buffers for [`Duet::handle_page_event`]
+    /// (always empty between calls; excluded from digests).
+    scratch_interested: Vec<usize>,
+    scratch_pending: Vec<usize>,
     /// Merged descriptors: inode → page index → descriptor. Ordered so
     /// that iteration (e.g. [`Duet::pending_pages`]) is deterministic.
     descriptors: BTreeMap<InodeNr, BTreeMap<u64, Descriptor>>,
@@ -67,12 +77,46 @@ pub struct Duet {
     trace: Option<TraceHandle>,
 }
 
+impl sim_core::snapshot::StateDigest for Duet {
+    fn digest_state(&self, d: &mut sim_core::snapshot::Digest) {
+        d.write_usize(self.cfg.max_sessions);
+        d.write_usize(self.cfg.descriptor_limit);
+        d.write_usize(self.sessions.len());
+        for slot in &self.sessions {
+            d.write_bool(slot.is_some());
+            if let Some(s) = slot {
+                s.digest_state(d);
+            }
+        }
+        d.write_usize(self.ndesc);
+        d.write_usize(self.descriptors.len());
+        for (ino, pages) in &self.descriptors {
+            d.write_u64(ino.raw());
+            d.write_usize(pages.len());
+            for (idx, desc) in pages {
+                d.write_u64(*idx);
+                desc.digest_state(d);
+            }
+        }
+        d.write_u64(self.stats.events_processed);
+        d.write_u64(self.stats.events_dropped);
+        d.write_u64(self.stats.fetch_calls);
+        d.write_u64(self.stats.items_fetched);
+        d.write_usize(self.stats.peak_descriptors);
+        d.write_bool(self.faults.is_some());
+        d.write_bool(self.trace.is_some());
+    }
+}
+
 impl Duet {
     /// Creates a framework instance.
     pub fn new(cfg: DuetConfig) -> Self {
         assert!(cfg.max_sessions > 0, "need at least one session slot");
         Duet {
             sessions: (0..cfg.max_sessions).map(|_| None).collect(),
+            masks: (0..cfg.max_sessions).map(|_| None).collect(),
+            scratch_interested: Vec::new(),
+            scratch_pending: Vec::new(),
             cfg,
             descriptors: BTreeMap::new(),
             ndesc: 0,
@@ -143,13 +187,6 @@ impl Duet {
             .ok_or(SimError::InvalidSession(sid.0))
     }
 
-    fn masks(&self) -> Vec<Option<EventMask>> {
-        self.sessions
-            .iter()
-            .map(|s| s.as_ref().map(|s| s.mask))
-            .collect()
-    }
-
     // ----- registration ----------------------------------------------------
 
     /// `duet_register`: starts a session and scans the page cache so the
@@ -186,6 +223,7 @@ impl Duet {
             .ok_or(SimError::TooManySessions)?;
         let sid = SessionId(slot as u32);
         self.sessions[slot] = Some(Session::new(scope, mask));
+        self.masks[slot] = Some(mask);
         if let Some(trace) = &self.trace {
             trace.tick(TraceLayer::Duet, "register");
         }
@@ -232,17 +270,18 @@ impl Duet {
         let slot = sid.0 as usize;
         self.session_ref(sid)?;
         self.sessions[slot] = None;
+        self.masks[slot] = None;
         if let Some(trace) = &self.trace {
             trace.tick(TraceLayer::Duet, "deregister");
         }
         // Strip the session's flags from every descriptor; free those
         // left with nothing pending.
-        let masks = self.masks();
+        let masks = &self.masks;
         let mut freed = 0usize;
         self.descriptors.retain(|_, pages| {
             pages.retain(|_, d| {
                 d.sess[slot].clear_all();
-                let keep = d.pending_any(&masks);
+                let keep = d.pending_any(masks);
                 if !keep {
                     freed += 1;
                 }
@@ -269,6 +308,7 @@ impl Duet {
         self.deregister(sid)?;
         let slot = sid.0 as usize;
         self.sessions[slot] = Some(Session::new(scope, mask));
+        self.masks[slot] = Some(mask);
         if let Some(trace) = &self.trace {
             trace.tick(TraceLayer::Duet, "churn");
         }
@@ -382,12 +422,12 @@ impl Duet {
 
     /// Frees the descriptor if no session has anything pending on it.
     fn gc_descriptor(&mut self, key: PageKey) {
-        let masks = self.masks();
+        let masks = &self.masks;
         let Some(pages) = self.descriptors.get_mut(&key.ino) else {
             return;
         };
         if let Some(d) = pages.get(&key.index.raw()) {
-            if !d.pending_any(&masks) {
+            if !d.pending_any(masks) {
                 pages.remove(&key.index.raw());
                 self.ndesc -= 1;
             }
@@ -406,6 +446,18 @@ impl Duet {
     /// The page-cache hook (§4.1): called for every page event, in
     /// order. `meta` is the page's state as of the event.
     pub fn handle_page_event(&mut self, meta: PageMeta, ev: PageEvent, fs: &dyn FsIntrospect) {
+        // Fast path: with no registered session, no live descriptor and
+        // no fault stream to advance, the full intake below can only
+        // bump the event counter and tick the trace — do exactly that.
+        // Baseline (non-Duet) experiment cells still pump every cache
+        // event through here, so this is their per-event cost.
+        if self.ndesc == 0 && self.faults.is_none() && self.sessions.iter().all(Option::is_none) {
+            self.stats.events_processed += 1;
+            if let Some(trace) = &self.trace {
+                trace.tick(TraceLayer::Duet, "event");
+            }
+            return;
+        }
         self.maybe_churn(fs);
         self.stats.events_processed += 1;
         if let Some(trace) = &self.trace {
@@ -414,7 +466,7 @@ impl Duet {
         let ((pre_e, pre_m), (post_e, post_m)) = transition(ev, meta.dirty);
         let interest = Self::interest_of(ev);
         // Pass 1: which sessions want this event?
-        let mut interested: Vec<usize> = Vec::new();
+        let mut interested = std::mem::take(&mut self.scratch_interested);
         for slot in 0..self.cfg.max_sessions {
             let Some(sess) = self.sessions[slot].as_ref() else {
                 continue;
@@ -441,10 +493,14 @@ impl Duet {
             .get(&key.ino)
             .is_some_and(|p| p.contains_key(&key.index.raw()));
         if !exists_already && interested.is_empty() {
+            self.scratch_interested = interested;
             return;
         }
-        let masks = self.masks();
-        let mut newly_pending: Vec<usize> = Vec::new();
+        // `descriptor_entry` needs `&mut self`, so the masks cache is
+        // moved out for the scope of pass 2 and restored after (no
+        // callee in between reads it).
+        let masks = std::mem::take(&mut self.masks);
+        let mut newly_pending = std::mem::take(&mut self.scratch_pending);
         if exists_already {
             // The event folds into an existing descriptor: the state
             // merge of §4.2 (one descriptor accumulates many events).
@@ -484,9 +540,13 @@ impl Duet {
                 }
             }
         }
-        for slot in newly_pending {
+        self.masks = masks;
+        for slot in newly_pending.drain(..) {
             self.enqueue(slot, key);
         }
+        interested.clear();
+        self.scratch_interested = interested;
+        self.scratch_pending = newly_pending;
         // Cancellation: opposing events may have reverted the page to
         // its reported state for every session.
         self.gc_descriptor(key);
@@ -663,7 +723,7 @@ impl Duet {
             }
         }
         if let ItemId::Inode(ino) = item {
-            let masks = self.masks();
+            let masks = &self.masks;
             if let Some(pages) = self.descriptors.get_mut(&ino) {
                 let mut freed = 0usize;
                 pages.retain(|_, d| {
@@ -671,7 +731,7 @@ impl Duet {
                     d.sess[slot].clear_force_not_exists();
                     let (e, m) = (d.cur_exists, d.cur_modified);
                     d.sess[slot].set_reported(e, m);
-                    let keep = d.pending_any(&masks);
+                    let keep = d.pending_any(masks);
                     if !keep {
                         freed += 1;
                     }
@@ -894,11 +954,11 @@ impl Duet {
     /// future work in §2 of the paper): the cache can deprioritize
     /// evicting pages whose hints no task has consumed yet.
     pub fn pending_pages(&self, max: usize) -> Vec<PageKey> {
-        let masks = self.masks();
+        let masks = &self.masks;
         let mut out = Vec::new();
         'outer: for (&ino, pages) in &self.descriptors {
             for (&idx, d) in pages {
-                if d.pending_any(&masks) {
+                if d.pending_any(masks) {
                     out.push(PageKey::new(ino, sim_core::PageIndex(idx)));
                     if out.len() >= max {
                         break 'outer;

@@ -14,10 +14,14 @@ use sim_f2fs::F2fsSim;
 /// the kernel's inline page-cache hooks (§4.1). Call after every
 /// filesystem operation (the experiment runner does).
 pub fn pump_btrfs(fs: &mut BtrfsSim, duet: &mut Duet) {
-    let page_events = fs.cache_mut().drain_events();
-    for (meta, ev) in page_events {
+    // Take the queue wholesale and hand its buffer back afterwards:
+    // the pump runs after every filesystem operation, so a fresh
+    // allocation per drain is pure per-op overhead.
+    let page_events = fs.cache_mut().take_events();
+    for &(meta, ev) in &page_events {
         duet.handle_page_event(meta, ev, fs);
     }
+    fs.cache_mut().put_back_events(page_events);
     let fs_events = fs.drain_fs_events();
     for ev in fs_events {
         match ev {
@@ -35,10 +39,11 @@ pub fn pump_btrfs(fs: &mut BtrfsSim, duet: &mut Duet) {
 
 /// Drains page-cache events from an F2fs filesystem into the framework.
 pub fn pump_f2fs(fs: &mut F2fsSim, duet: &mut Duet) {
-    let page_events = fs.cache_mut().drain_events();
-    for (meta, ev) in page_events {
+    let page_events = fs.cache_mut().take_events();
+    for &(meta, ev) in &page_events {
         duet.handle_page_event(meta, ev, fs);
     }
+    fs.cache_mut().put_back_events(page_events);
 }
 
 #[cfg(test)]

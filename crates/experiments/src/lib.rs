@@ -24,6 +24,7 @@ pub mod oracle;
 pub mod presets;
 pub mod profile;
 pub mod runner;
+pub mod snapshot;
 
 pub use config::{DeviceKind, ExperimentConfig, TaskKind};
 pub use metrics::{max_utilization, speedup, ExperimentResult, TaskOutcome};
@@ -33,8 +34,8 @@ pub use oracle::{
 };
 pub use presets::paper_scaled;
 pub use profile::{
-    profile_unthrottled, run_experiment_cached, run_experiment_cached_traced, ProfileCache,
-    ProfileKey,
+    profile_unthrottled, run_completion_probe_cached, run_experiment_cached,
+    run_experiment_cached_traced, ProfileCache, ProfileKey,
 };
 pub use runner::{
     run_experiment,
@@ -47,6 +48,7 @@ pub use runner::{
     GcResult,
     RsyncResult, //
 };
+pub use snapshot::PreparedStack;
 
 #[cfg(test)]
 mod runner_tests;

@@ -55,7 +55,7 @@ pub struct ProfileKey {
     seed: u64,
 }
 
-fn personality_tag(p: Personality) -> u8 {
+pub(crate) fn personality_tag(p: Personality) -> u8 {
     match p {
         Personality::WebServer => 0,
         Personality::WebProxy => 1,
@@ -63,7 +63,7 @@ fn personality_tag(p: Personality) -> u8 {
     }
 }
 
-fn dist_tag(d: DistKind) -> (u8, u8) {
+pub(crate) fn dist_tag(d: DistKind) -> (u8, u8) {
     match d {
         DistKind::Uniform => (0, 0),
         DistKind::MsTrace(dev) => (1, dev),
@@ -239,6 +239,22 @@ pub fn run_experiment_cached_traced(
 ) -> SimResult<ExperimentResult> {
     let seed = profiles.get_or_profile(cfg)?;
     run_experiment_seeded(cfg, seed, trace)
+}
+
+/// [`run_experiment_cached_traced`] truncated to the completion
+/// question: runs the identical simulation but stops as soon as the
+/// last maintenance task completes, returning what `all_completed()`
+/// of the full run would be (see
+/// [`crate::runner::run_completion_probe_seeded`]). The fast path for
+/// bisection sweeps like `table5_max_util`, whose cells only consume
+/// the completion bit.
+pub fn run_completion_probe_cached(
+    cfg: &ExperimentConfig,
+    profiles: &ProfileCache,
+    trace: Option<&sim_core::trace::TraceHandle>,
+) -> SimResult<bool> {
+    let seed = profiles.get_or_profile(cfg)?;
+    crate::runner::run_completion_probe_seeded(cfg, seed, trace)
 }
 
 #[cfg(test)]

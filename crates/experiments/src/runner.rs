@@ -28,7 +28,7 @@ use duet_tasks::{
 };
 use sim_btrfs::BtrfsSim;
 use sim_core::trace::TraceHandle;
-use sim_core::{SimDuration, SimInstant, SimResult, SimRng};
+use sim_core::{SimDuration, SimInstant, SimResult};
 use sim_disk::{Disk, HddModel, IoClass, SchedulerPolicy, SsdModel};
 use sim_f2fs::{F2fsSim, VictimPolicy};
 use workloads::{populate_fileset, Workload, WorkloadFs};
@@ -112,56 +112,55 @@ pub(crate) fn run_experiment_seeded(
     profiled_busy_per_op: Option<f64>,
     trace: Option<&TraceHandle>,
 ) -> SimResult<ExperimentResult> {
-    let disk = build_disk(cfg.device, cfg.capacity_blocks);
-    let mut fs = BtrfsSim::new(sim_core::DeviceId(0), disk, cfg.cache_pages);
-    let mut duet = Duet::with_defaults();
+    run_experiment_inner(cfg, profiled_busy_per_op, trace, false)
+}
 
-    // Population (free of simulated I/O).
-    let mut workload = match cfg.workload {
-        Some(wcfg) => {
-            let mut w = Workload::setup(&mut fs, wcfg, cfg.fileset)?;
-            if let Some(ns) = profiled_busy_per_op {
-                w.seed_busy_per_op(ns);
-            }
-            Some(w)
+/// Answers "does every maintenance task complete within the window?"
+/// without simulating past the answer: the virtual-time loop stops the
+/// moment the last task completes (or at the window end, whichever is
+/// first). Up to that instant the simulation is step-for-step identical
+/// to [`run_experiment_seeded`] — completion times are decided by then,
+/// so the returned bit is exactly `all_completed()` of the full run.
+/// Only the completion bit is valid; utilization/latency metrics cover
+/// a truncated window, which is why this returns `bool` and not an
+/// [`ExperimentResult`]. Bisection drivers ([`crate::max_utilization`])
+/// probe with this and skip the dead tail of every completing run.
+pub(crate) fn run_completion_probe_seeded(
+    cfg: &ExperimentConfig,
+    profiled_busy_per_op: Option<f64>,
+    trace: Option<&TraceHandle>,
+) -> SimResult<bool> {
+    Ok(run_experiment_inner(cfg, profiled_busy_per_op, trace, true)?.all_completed())
+}
+
+fn run_experiment_inner(
+    cfg: &ExperimentConfig,
+    profiled_busy_per_op: Option<f64>,
+    trace: Option<&TraceHandle>,
+    stop_when_tasks_done: bool,
+) -> SimResult<ExperimentResult> {
+    // Setup prefix (population, layout aging, event drain, metric
+    // reset): forked from a warm per-thread snapshot when an identical
+    // prefix was already built, rebuilt from scratch otherwise — the
+    // two are byte-identical (see [`crate::snapshot`]).
+    let crate::snapshot::PreparedStack {
+        mut fs,
+        mut duet,
+        mut workload,
+    } = crate::snapshot::obtain(cfg)?;
+    // Per-cell throttle knobs the shared prefix deliberately excludes;
+    // neither is read during setup, so applying them after the fork is
+    // indistinguishable from applying them before it.
+    if let Some(w) = workload.as_mut() {
+        if let Some(wcfg) = cfg.workload {
+            w.set_target_util(wcfg.target_util);
         }
-        None => {
-            populate_fileset(&mut fs, cfg.fileset, cfg.seed)?;
-            None
-        }
-    };
-    // Layout aging: relocate files in random order and split them into
-    // ~256 KiB extents. Inode order no longer matches physical order,
-    // and a logical (per-file) pass seeks every few extents — which is
-    // why the paper's backup is about half as fast as the physically
-    // sequential scrubber (§6.2). Scrubbing is unaffected: its scan
-    // follows physical order regardless of extent ownership.
-    if cfg.scatter_layout {
-        let mut files = fs.inodes().files_by_inode();
-        let mut rng = SimRng::new(cfg.seed.wrapping_add(0x5CA7));
-        rng.shuffle(&mut files);
-        for ino in files {
-            let pages = fs.inodes().get(ino)?.size_pages();
-            let pieces = (pages / 64).clamp(1, 4);
-            fs.fragment_file(ino, pieces)?;
+        if let Some(ns) = profiled_busy_per_op {
+            w.seed_busy_per_op(ns);
         }
     }
-    // Pre-fragmentation for the defragmentation experiments.
-    if let Some((fraction, pieces)) = cfg.fragmentation {
-        let files = fs.inodes().files_by_inode();
-        let mut rng = SimRng::new(cfg.seed.wrapping_add(0xF7A6));
-        let k = ((files.len() as f64 * fraction).round() as usize).min(files.len());
-        let mut order: Vec<_> = files.clone();
-        rng.shuffle(&mut order);
-        for &ino in &order[..k] {
-            fs.fragment_file(ino, pieces)?;
-        }
-    }
-    fs.cache_mut().drain_events();
-    fs.drain_fs_events();
-    fs.disk_mut().reset_metrics();
     // Arm tracing only now: population and aging are setup, not the
-    // measured window (mirroring the metric reset above).
+    // measured window (mirroring the metric reset in the prefix).
     if trace.is_some() {
         fs.set_trace(trace.cloned());
         duet.set_trace(trace.cloned());
@@ -238,18 +237,29 @@ pub(crate) fn run_experiment_seeded(
             }
             continue;
         }
-        // Maintenance dispatch in the idle gap.
-        let incomplete: Vec<usize> = (0..tasks.len())
-            .filter(|&i| completion[i].is_none())
-            .collect();
+        // Maintenance dispatch in the idle gap. Incomplete tasks are
+        // counted (and the round-robin pick indexed) in place — this
+        // runs every non-workload iteration, so no per-iteration
+        // allocation.
+        let n_incomplete = completion.iter().filter(|c| c.is_none()).count();
         let device_free = fs.disk().busy_until();
-        if !incomplete.is_empty()
+        if n_incomplete > 0
             && fs.disk().is_idle_at(now)
             && cfg
                 .policy
                 .may_dispatch_maintenance(now, device_free, next_wl)
         {
-            let i = incomplete[rr % incomplete.len()];
+            let mut nth = rr % n_incomplete;
+            let mut i = 0;
+            for (t, c) in completion.iter().enumerate() {
+                if c.is_none() {
+                    i = t;
+                    if nth == 0 {
+                        break;
+                    }
+                    nth -= 1;
+                }
+            }
             rr += 1;
             let r = tasks[i].step(BtrfsCtx {
                 fs: &mut fs,
@@ -266,18 +276,24 @@ pub(crate) fn run_experiment_seeded(
                     duet: &mut duet,
                     now,
                 })?;
+                // Completion probes have their answer the moment the
+                // last task finishes; the rest of the window cannot
+                // change it.
+                if stop_when_tasks_done && completion.iter().all(Option::is_some) {
+                    break;
+                }
             }
             continue;
         }
         // Nothing runnable at `now`: advance virtual time.
-        if incomplete.is_empty() && next_wl.is_none() {
+        if n_incomplete == 0 && next_wl.is_none() {
             break; // All work done, no workload: the run is over.
         }
         let mut next = end;
         if let Some(t) = next_wl {
             next = next.min(t);
         }
-        if !incomplete.is_empty() {
+        if n_incomplete > 0 {
             let dispatch_at = cfg
                 .policy
                 .earliest_maintenance_dispatch(now, device_free)

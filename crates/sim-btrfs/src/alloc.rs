@@ -34,6 +34,18 @@ pub struct FreeSpace {
     capacity: u64,
 }
 
+impl sim_core::snapshot::StateDigest for FreeSpace {
+    fn digest_state(&self, d: &mut sim_core::snapshot::Digest) {
+        d.write_u64(self.capacity);
+        d.write_u64(self.free_blocks);
+        d.write_usize(self.free.len());
+        for (&start, &len) in self.free.iter() {
+            d.write_u64(start);
+            d.write_u64(len);
+        }
+    }
+}
+
 impl FreeSpace {
     /// Creates an allocator with blocks `0..capacity` free.
     pub fn new(capacity: u64) -> Self {

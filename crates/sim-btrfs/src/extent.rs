@@ -46,6 +46,17 @@ pub struct ExtentMap {
     map: DOrdMap<u64, Extent>,
 }
 
+impl sim_core::snapshot::StateDigest for ExtentMap {
+    fn digest_state(&self, d: &mut sim_core::snapshot::Digest) {
+        d.write_usize(self.map.len());
+        for e in self.map.values() {
+            d.write_u64(e.logical);
+            d.write_u64(e.physical.raw());
+            d.write_u64(e.len);
+        }
+    }
+}
+
 impl ExtentMap {
     /// Creates an empty map.
     pub fn new() -> Self {

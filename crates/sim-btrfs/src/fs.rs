@@ -125,6 +125,88 @@ pub struct BtrfsSim {
     trace: Option<TraceHandle>,
 }
 
+impl Clone for BtrfsSim {
+    /// Deep-copies the whole filesystem image for the snapshot/fork
+    /// plane. The fault and trace handles are `Rc`-shared; snapshots
+    /// are captured with both disarmed and re-armed per fork.
+    fn clone(&self) -> Self {
+        BtrfsSim {
+            device: self.device,
+            disk: self.disk.clone(),
+            cache: self.cache.clone(),
+            blocks: self.blocks.clone(),
+            alloc: self.alloc.clone(),
+            inodes: self.inodes.clone(),
+            snapshots: self.snapshots.clone(),
+            next_snap: self.next_snap,
+            fs_events: self.fs_events.clone(),
+            retry: self.retry,
+            faults: self.faults.clone(),
+            trace: self.trace.clone(),
+        }
+    }
+}
+
+impl sim_core::snapshot::StateDigest for BtrfsSim {
+    fn digest_state(&self, d: &mut sim_core::snapshot::Digest) {
+        d.write_u32(self.device.raw());
+        self.disk.digest_state(d);
+        self.cache.digest_state(d);
+        self.blocks.digest_state(d);
+        self.alloc.digest_state(d);
+        self.inodes.digest_state(d);
+        d.write_u32(self.next_snap);
+        d.write_usize(self.snapshots.len());
+        for (id, snap) in &self.snapshots {
+            d.write_u32(id.0);
+            d.write_usize(snap.files.len());
+            for (ino, f) in &snap.files {
+                d.write_u64(ino.raw());
+                f.extents.digest_state(d);
+                d.write_u64(f.size_bytes);
+                d.write_str(&f.path);
+            }
+        }
+        d.write_usize(self.fs_events.len());
+        for ev in &self.fs_events {
+            match *ev {
+                FsEvent::Created {
+                    ino,
+                    parent,
+                    is_dir,
+                } => {
+                    d.write_u32(0);
+                    d.write_u64(ino.raw());
+                    d.write_u64(parent.raw());
+                    d.write_bool(is_dir);
+                }
+                FsEvent::Deleted { ino, parent } => {
+                    d.write_u32(1);
+                    d.write_u64(ino.raw());
+                    d.write_u64(parent.raw());
+                }
+                FsEvent::Renamed {
+                    ino,
+                    old_parent,
+                    new_parent,
+                    is_dir,
+                } => {
+                    d.write_u32(2);
+                    d.write_u64(ino.raw());
+                    d.write_u64(old_parent.raw());
+                    d.write_u64(new_parent.raw());
+                    d.write_bool(is_dir);
+                }
+            }
+        }
+        d.write_u32(self.retry.max_attempts);
+        d.write_u64(self.retry.base_backoff.as_nanos());
+        d.write_u64(self.retry.max_backoff.as_nanos());
+        d.write_bool(self.faults.is_some());
+        d.write_bool(self.trace.is_some());
+    }
+}
+
 impl BtrfsSim {
     /// Creates a filesystem on `disk` with a page cache of
     /// `cache_pages` pages.
@@ -479,8 +561,8 @@ impl BtrfsSim {
         // Populate the cache; dirty evictions are charged to this op.
         let mut evicted_all = Vec::new();
         for (idx, b) in missing {
-            let ev = self.cache.insert(PageKey::new(ino, idx), Some(b), false);
-            evicted_all.extend(ev);
+            self.cache
+                .insert_into(PageKey::new(ino, idx), Some(b), false, &mut evicted_all);
         }
         self.write_evicted(evicted_all, class, now, &mut stats)?;
         Ok(stats)
@@ -521,8 +603,8 @@ impl BtrfsSim {
         for run in &runs {
             for i in 0..run.len {
                 let key = PageKey::new(ino, PageIndex(logical + i));
-                let ev = self.cache.insert(key, Some(run.start.offset(i)), true);
-                evicted_all.extend(ev);
+                self.cache
+                    .insert_into(key, Some(run.start.offset(i)), true, &mut evicted_all);
             }
             logical += run.len;
         }
@@ -898,8 +980,8 @@ impl BtrfsSim {
         for run in &runs {
             for i in 0..run.len {
                 let key = PageKey::new(ino, PageIndex(logical + i));
-                let ev = self.cache.insert(key, Some(run.start.offset(i)), true);
-                evicted_all.extend(ev);
+                self.cache
+                    .insert_into(key, Some(run.start.offset(i)), true, &mut evicted_all);
             }
             logical += run.len;
         }

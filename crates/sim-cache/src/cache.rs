@@ -68,7 +68,7 @@ struct Node {
 /// let events = cache.drain_events();
 /// assert_eq!(events[0].1, PageEvent::Added);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PageCache {
     capacity: usize,
     /// Backing store for resident pages; handles stay stable while a
@@ -356,6 +356,23 @@ impl PageCache {
     /// updates the block mapping if `block` is `Some`, and dirties it if
     /// `dirty` is set.
     pub fn insert(&mut self, key: PageKey, block: Option<BlockNr>, dirty: bool) -> Vec<PageMeta> {
+        let mut evicted = Vec::new();
+        self.insert_into(key, block, dirty, &mut evicted);
+        evicted
+    }
+
+    /// [`PageCache::insert`] with the evicted pages appended to a
+    /// caller-owned buffer instead of a fresh allocation. Multi-page
+    /// operations reuse one buffer across the whole run of inserts —
+    /// at steady state every insert evicts, so the per-call `Vec` of
+    /// the plain variant is a measurable share of sweep wall time.
+    pub fn insert_into(
+        &mut self,
+        key: PageKey,
+        block: Option<BlockNr>,
+        dirty: bool,
+        evicted: &mut Vec<PageMeta>,
+    ) {
         if let Some(&h) = self.index.get(&key) {
             if let Some(b) = block {
                 self.slab[h].block = Some(b);
@@ -364,7 +381,7 @@ impl PageCache {
                 self.mark_dirty(key);
             }
             self.touch_handle(h);
-            return Vec::new();
+            return;
         }
         let h = self.slab.insert(Node {
             key,
@@ -401,7 +418,7 @@ impl PageCache {
                 target = self.capacity.saturating_sub(shed as usize).max(1);
             }
         }
-        self.evict_to(target)
+        self.evict_into(target, evicted);
     }
 
     /// How far down the LRU list eviction searches for a clean victim
@@ -410,8 +427,7 @@ impl PageCache {
     /// batched background flusher — but the search must stay bounded.
     const CLEAN_SCAN: usize = 1024;
 
-    fn evict_to(&mut self, target: usize) -> Vec<PageMeta> {
-        let mut evicted = Vec::new();
+    fn evict_into(&mut self, target: usize, evicted: &mut Vec<PageMeta>) {
         while self.index.len() > target {
             // Prefer the least-recently-used *clean, unprotected* page;
             // then clean protected; every entry except the most recent
@@ -427,7 +443,10 @@ impl PageCache {
             while h != NIL && seen < scan {
                 let node = &self.slab[h];
                 if !node.dirty {
-                    if self.protected.contains(&node.key) {
+                    // `is_empty` first: without informed replacement the
+                    // protected set never fills, and hashing every
+                    // scanned key would be pure overhead on this path.
+                    if !self.protected.is_empty() && self.protected.contains(&node.key) {
                         if clean_protected == NIL {
                             clean_protected = h;
                         }
@@ -469,7 +488,6 @@ impl PageCache {
             }
             evicted.push(before);
         }
-        evicted
     }
 
     /// Fully removes a resident page: unlinks both intrusive lists,
@@ -643,9 +661,82 @@ impl PageCache {
         self.events.drain(..).collect()
     }
 
+    /// Moves the queued events out wholesale, leaving the queue empty.
+    /// Pair with [`PageCache::put_back_events`] to recycle the buffer —
+    /// the event pump runs after every filesystem operation, and
+    /// [`PageCache::drain_events`]'s fresh `Vec` per call was measurable
+    /// across a sweep.
+    pub fn take_events(&mut self) -> VecDeque<(PageMeta, PageEvent)> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Returns a buffer obtained from [`PageCache::take_events`] so its
+    /// capacity is reused. Contents are discarded; events queued since
+    /// the take (there are none in the pump's take → consume → put-back
+    /// window, but the API does not rely on that) are preserved.
+    pub fn put_back_events(&mut self, mut buf: VecDeque<(PageMeta, PageEvent)>) {
+        buf.clear();
+        if self.events.is_empty() {
+            self.events = buf;
+        }
+    }
+
     /// Number of undrained events (for overhead accounting).
     pub fn pending_events(&self) -> usize {
         self.events.len()
+    }
+}
+
+impl sim_core::snapshot::StateDigest for PageCache {
+    fn digest_state(&self, d: &mut sim_core::snapshot::Digest) {
+        // Logical state only, traversed in the orders that drive future
+        // behaviour (LRU eviction order, dirty writeback order): two
+        // caches that digest equal are behaviourally indistinguishable
+        // even if their slab handle numbering were to differ.
+        d.write_usize(self.capacity);
+        d.write_usize(self.index.len());
+        let walk = |mut h: u32, next: fn(&Node) -> u32, d: &mut sim_core::snapshot::Digest| {
+            while h != NIL {
+                let n = &self.slab[h];
+                d.write_u64(n.key.ino.raw());
+                d.write_u64(n.key.index.raw());
+                d.write_bool(n.block.is_some());
+                d.write_u64(n.block.map_or(0, |b| b.raw()));
+                d.write_bool(n.dirty);
+                h = next(n);
+            }
+        };
+        walk(self.lru_head, |n| n.next, d);
+        d.write_usize(self.dirty_count);
+        walk(self.dirty_head, |n| n.dnext, d);
+        d.write_usize(self.events.len());
+        for (meta, ev) in &self.events {
+            d.write_u64(meta.key.ino.raw());
+            d.write_u64(meta.key.index.raw());
+            d.write_bool(meta.dirty);
+            d.write_u32(match ev {
+                PageEvent::Added => 0,
+                PageEvent::Removed => 1,
+                PageEvent::Dirtied => 2,
+                PageEvent::Flushed => 3,
+            });
+        }
+        d.write_u64(self.stats.hits);
+        d.write_u64(self.stats.misses);
+        d.write_u64(self.stats.insertions);
+        d.write_u64(self.stats.evictions);
+        d.write_u64(self.stats.writebacks);
+        // Protection is advisory and replaced wholesale per scan; its
+        // membership (sorted for handle-independence) still matters.
+        let mut prot: Vec<PageKey> = self.protected.iter().copied().collect();
+        prot.sort_unstable();
+        d.write_usize(prot.len());
+        for k in prot {
+            d.write_u64(k.ino.raw());
+            d.write_u64(k.index.raw());
+        }
+        d.write_bool(self.faults.is_some());
+        d.write_bool(self.trace.is_some());
     }
 }
 

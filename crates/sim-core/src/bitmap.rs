@@ -49,6 +49,15 @@ impl SparseBitmap {
         SparseBitmap::default()
     }
 
+    /// Feeds the full membership (in ascending index order) into a
+    /// fork-equivalence digest.
+    pub fn digest_state(&self, d: &mut crate::snapshot::Digest) {
+        d.write_u64(self.count());
+        for i in self.iter() {
+            d.write_u64(i);
+        }
+    }
+
     fn locate(index: u64) -> (u64, usize, u64) {
         let chunk = index / CHUNK_BITS;
         let within = index % CHUNK_BITS;

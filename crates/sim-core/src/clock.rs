@@ -21,6 +21,9 @@ impl SimDuration {
     /// The zero-length duration.
     pub const ZERO: SimDuration = SimDuration(0);
 
+    /// The longest representable duration (~584 years).
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
     /// Creates a duration from nanoseconds.
     pub const fn from_nanos(ns: u64) -> Self {
         SimDuration(ns)
@@ -74,6 +77,18 @@ impl SimDuration {
     /// Saturating subtraction; clamps at zero instead of underflowing.
     pub const fn saturating_sub(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Saturating addition; clamps at [`SimDuration::MAX`].
+    pub const fn saturating_add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+
+    /// Saturating scalar multiplication; clamps at
+    /// [`SimDuration::MAX`] instead of overflowing (the plain `*`
+    /// operator panics on overflow in debug builds).
+    pub const fn saturating_mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(factor))
     }
 
     /// Returns true if the duration is zero.

@@ -35,6 +35,11 @@
 //!   plus a slab arena ([`dmap::Slab`]) with stable `u32` handles — the
 //!   hot-path replacements for the B-tree maps that PR 1's determinism
 //!   pass left on the page-cache and priority-queue inner loops.
+//! - [`snapshot`]: the snapshot/fork warm-start plane — a bounded
+//!   memo of pristine simulated-stack states ([`snapshot::SnapshotStore`])
+//!   plus the incremental state digest ([`snapshot::Digest`],
+//!   [`snapshot::StateDigest`]) behind the fork-equivalence oracle,
+//!   gated by `DUET_SNAPSHOT`.
 //! - [`omap`]: the deterministic **ordered** companion
 //!   ([`omap::DOrdMap`]): a chunked sorted vector with O(log n)
 //!   lookups, `range`/`next_back` and neighbour queries, and sorted
@@ -50,6 +55,7 @@ pub mod fault;
 pub mod ids;
 pub mod omap;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod trace;
 

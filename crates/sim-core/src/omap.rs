@@ -497,6 +497,87 @@ mod tests {
     }
 
     #[test]
+    fn excluded_bounds_at_chunk_boundaries() {
+        // chunk_max 4 ⇒ chunks split early and often, so bound keys
+        // land on first/last entries of chunks. Every bound-kind
+        // combination must match the BTreeMap oracle (valid ranges) or
+        // yield an empty iterator with an exact zero size hint
+        // (ranges the oracle would panic on).
+        let mut m: DOrdMap<u64, u64> = DOrdMap::with_chunk_max(4);
+        let mut r: BTreeMap<u64, u64> = BTreeMap::new();
+        for k in (0..40u64).step_by(2) {
+            m.insert(k, k + 1);
+            r.insert(k, k + 1);
+        }
+        let bound = |kind: u8, k: u64| match kind {
+            0 => Bound::Included(k),
+            1 => Bound::Excluded(k),
+            _ => Bound::Unbounded,
+        };
+        for lo in 0..24u64 {
+            for hi in 0..24u64 {
+                for lk in 0..3u8 {
+                    for hk in 0..3u8 {
+                        let range = (bound(lk, lo), bound(hk, hi));
+                        // BTreeMap::range panics on start > end, and on
+                        // start == end with both bounds excluded.
+                        let oracle_ok =
+                            lk == 2 || hk == 2 || lo < hi || (lo == hi && !(lk == 1 && hk == 1));
+                        let it = m.range(range);
+                        let n = it.len();
+                        assert_eq!(it.size_hint(), (n, Some(n)), "{range:?}");
+                        let got: Vec<u64> = m.range(range).map(|(k, _)| *k).collect();
+                        if oracle_ok {
+                            let want: Vec<u64> = r.range(range).map(|(k, _)| *k).collect();
+                            assert_eq!(got, want, "{range:?}");
+                            assert_eq!(n, want.len(), "{range:?}");
+                            let got_rev: Vec<u64> = m.range(range).rev().map(|(k, _)| *k).collect();
+                            let want_rev: Vec<u64> =
+                                r.range(range).rev().map(|(k, _)| *k).collect();
+                            assert_eq!(got_rev, want_rev, "{range:?} reversed");
+                        } else {
+                            assert!(got.is_empty(), "inverted {range:?} must be empty");
+                            assert_eq!(n, 0, "{range:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn size_hint_is_exact_after_mixed_consumption() {
+        let mut m: DOrdMap<u64, u64> = DOrdMap::with_chunk_max(3);
+        for k in 0..11u64 {
+            m.insert(k, k * 2);
+        }
+        // Alternate front/back consumption; after every step the
+        // ExactSizeIterator contract must hold exactly.
+        let mut it = m.range(1..10); // keys 1..=9, nine entries
+        let mut want: std::collections::VecDeque<u64> = (1..10).collect();
+        let mut from_back = false;
+        loop {
+            let n = want.len();
+            assert_eq!(it.len(), n);
+            assert_eq!(it.size_hint(), (n, Some(n)));
+            let (got, expect) = if from_back {
+                (it.next_back().map(|(k, _)| *k), want.pop_back())
+            } else {
+                (it.next().map(|(k, _)| *k), want.pop_front())
+            };
+            assert_eq!(got, expect);
+            if got.is_none() {
+                break;
+            }
+            from_back = !from_back;
+        }
+        // Exhausted from both ends: stays empty in both directions.
+        assert_eq!(it.size_hint(), (0, Some(0)));
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next_back(), None);
+    }
+
+    #[test]
     fn empty_and_inverted_ranges() {
         let mut m: DOrdMap<u64, u64> = DOrdMap::new();
         assert_eq!(m.iter().next(), None);

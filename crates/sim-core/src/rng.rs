@@ -23,6 +23,16 @@ pub struct SimRng {
     s: [u64; 4],
 }
 
+impl crate::snapshot::StateDigest for SimRng {
+    fn digest_state(&self, d: &mut crate::snapshot::Digest) {
+        // The four xoshiro words are the complete generator state: equal
+        // digests imply identical future random streams.
+        for w in self.s {
+            d.write_u64(w);
+        }
+    }
+}
+
 impl SimRng {
     /// Creates a generator from a seed. Any seed, including zero, yields
     /// a well-distributed state via SplitMix64 expansion.

@@ -27,6 +27,14 @@ enum Op {
     Range(u64, u64),
     /// The extent-map floor idiom: `range(..=k).next_back()`.
     RangeBack(u64),
+    /// `range` under arbitrary (possibly inverted) bound kinds:
+    /// `(start_kind, start_key, end_kind, end_key)` with kinds 0 =
+    /// `Included`, 1 = `Excluded`, 2 = `Unbounded`. Ranges the
+    /// `BTreeMap` oracle would panic on must yield an empty iterator.
+    RangeBounds(u8, u64, u8, u64),
+    /// `range(lo..=hi)` consumed from both ends, one end per bit of
+    /// the pattern, with the exact size hint checked at every step.
+    RangeMixed(u64, u64, u32),
     /// Full ordered iteration, forward and reverse.
     IterCheck,
     Clear,
@@ -34,7 +42,7 @@ enum Op {
 
 fn gen_op(rng: &mut SimRng, _i: u64) -> Op {
     let k = rng.gen_range(0, 128);
-    match rng.gen_range(0, 12) {
+    match rng.gen_range(0, 14) {
         0..=3 => Op::Insert(k, rng.gen_range(0, 1 << 20)),
         4..=5 => Op::Remove(k),
         6 => Op::Get(k),
@@ -49,6 +57,16 @@ fn gen_op(rng: &mut SimRng, _i: u64) -> Op {
             Op::Range(l.min(k), l.max(k))
         }
         10 => Op::RangeBack(k),
+        11 => Op::RangeBounds(
+            rng.gen_range(0, 3) as u8,
+            k,
+            rng.gen_range(0, 3) as u8,
+            rng.gen_range(0, 130),
+        ),
+        12 => {
+            let l = rng.gen_range(0, 128);
+            Op::RangeMixed(l.min(k), l.max(k), rng.gen_range(0, 1 << 16) as u32)
+        }
         _ => {
             if rng.gen_range(0, 40) == 0 {
                 Op::Clear
@@ -56,6 +74,14 @@ fn gen_op(rng: &mut SimRng, _i: u64) -> Op {
                 Op::IterCheck
             }
         }
+    }
+}
+
+fn bound(kind: u8, k: u64) -> std::ops::Bound<u64> {
+    match kind {
+        0 => std::ops::Bound::Included(k),
+        1 => std::ops::Bound::Excluded(k),
+        _ => std::ops::Bound::Unbounded,
     }
 }
 
@@ -120,6 +146,54 @@ fn replay(log: &[Op]) -> Result<(), String> {
             Op::RangeBack(k) => {
                 if m.range(..=k).next_back().map(kv) != oracle.range(..=k).next_back().map(kv) {
                     return Err(fail("range(..=k).next_back"));
+                }
+            }
+            Op::RangeBounds(lk, lo, hk, hi) => {
+                let range = (bound(lk, lo), bound(hk, hi));
+                let n = m.range(range).len();
+                if m.range(range).size_hint() != (n, Some(n)) {
+                    return Err(fail("range bounds size_hint"));
+                }
+                let got: Vec<(u64, u64)> = m.range(range).map(kv).collect();
+                // BTreeMap::range panics on start > end, and on start
+                // == end with both bounds excluded; DOrdMap documents
+                // those as empty instead.
+                let oracle_ok =
+                    lk == 2 || hk == 2 || lo < hi || (lo == hi && !(lk == 1 && hk == 1));
+                if oracle_ok {
+                    let want: Vec<(u64, u64)> = oracle.range(range).map(kv).collect();
+                    if got != want {
+                        return Err(fail("range bounds"));
+                    }
+                    let got_rev: Vec<(u64, u64)> = m.range(range).rev().map(kv).collect();
+                    let want_rev: Vec<(u64, u64)> = oracle.range(range).rev().map(kv).collect();
+                    if got_rev != want_rev {
+                        return Err(fail("range bounds rev"));
+                    }
+                } else if !got.is_empty() || n != 0 {
+                    return Err(fail("inverted range not empty"));
+                }
+            }
+            Op::RangeMixed(lo, hi, pattern) => {
+                let mut it = m.range(lo..=hi);
+                let mut want: std::collections::VecDeque<(u64, u64)> =
+                    oracle.range(lo..=hi).map(kv).collect();
+                for bit in 0..u32::BITS {
+                    let n = want.len();
+                    if it.len() != n || it.size_hint() != (n, Some(n)) {
+                        return Err(fail("mixed size_hint"));
+                    }
+                    let (got, expect) = if (pattern >> bit) & 1 == 1 {
+                        (it.next_back().map(kv), want.pop_back())
+                    } else {
+                        (it.next().map(kv), want.pop_front())
+                    };
+                    if got != expect {
+                        return Err(fail("mixed consumption"));
+                    }
+                    if got.is_none() {
+                        break;
+                    }
                 }
             }
             Op::IterCheck => {

@@ -116,6 +116,22 @@ impl DeviceModel for HddModel {
     fn name(&self) -> &'static str {
         "hdd-sas-10k"
     }
+
+    fn clone_box(&self) -> Box<dyn DeviceModel> {
+        Box::new(self.clone())
+    }
+
+    fn digest_model(&self, d: &mut sim_core::snapshot::Digest) {
+        d.write_str(self.name());
+        d.write_u64(self.capacity_blocks);
+        d.write_u64(self.seek_min.as_nanos());
+        d.write_u64(self.seek_full_extra.as_nanos());
+        d.write_u64(self.rotational.as_nanos());
+        d.write_f64(self.transfer_bps);
+        d.write_u64(self.head.raw());
+        d.write_bool(self.prev_end.is_some());
+        d.write_u64(self.prev_end.map_or(0, BlockNr::raw));
+    }
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@ pub use scheduler::{RetryPolicy, SchedulerPolicy};
 pub use ssd::SsdModel;
 
 use sim_core::fault::{FaultHandle, FaultSite};
+use sim_core::snapshot::{Digest, StateDigest};
 use sim_core::trace::{TraceHandle, TraceLayer};
 use sim_core::{BlockNr, SimDuration, SimError, SimInstant, SimResult, PAGE_SIZE};
 
@@ -75,6 +76,14 @@ pub trait DeviceModel {
 
     /// Human-readable model name for reports.
     fn name(&self) -> &'static str;
+
+    /// Deep-copies the model, including positioning state (head, last
+    /// request end) — the snapshot/fork plane clones whole devices.
+    fn clone_box(&self) -> Box<dyn DeviceModel>;
+
+    /// Feeds the model's complete deterministic state (calibration
+    /// constants and positioning state) into a fork-equivalence digest.
+    fn digest_model(&self, d: &mut Digest);
 }
 
 /// A single-queue simulated block device.
@@ -101,6 +110,38 @@ pub struct Disk {
     metrics: DiskMetrics,
     faults: Option<FaultHandle>,
     trace: Option<TraceHandle>,
+}
+
+impl Clone for Disk {
+    /// Deep-copies the device for the snapshot/fork plane. The fault and
+    /// trace handles are `Rc`-shared, so a fork taken while they are
+    /// armed would observe the same buffers; snapshots are captured with
+    /// both disarmed and re-armed per fork.
+    fn clone(&self) -> Self {
+        Disk {
+            model: self.model.clone_box(),
+            busy_until: self.busy_until,
+            metrics: self.metrics,
+            faults: self.faults.clone(),
+            trace: self.trace.clone(),
+        }
+    }
+}
+
+impl StateDigest for Disk {
+    fn digest_state(&self, d: &mut Digest) {
+        self.model.digest_model(d);
+        d.write_u64(self.busy_until.as_nanos());
+        for class in [&self.metrics.normal, &self.metrics.idle] {
+            d.write_u64(class.read_ops);
+            d.write_u64(class.write_ops);
+            d.write_u64(class.blocks_read);
+            d.write_u64(class.blocks_written);
+            d.write_u64(class.busy_time.as_nanos());
+        }
+        d.write_bool(self.faults.is_some());
+        d.write_bool(self.trace.is_some());
+    }
 }
 
 impl Disk {
@@ -513,6 +554,7 @@ mod tests {
                 let policy = RetryPolicy {
                     max_attempts: budget,
                     base_backoff: SimDuration::from_micros(500),
+                    ..RetryPolicy::default()
                 };
                 let err = disk
                     .submit_with_retry(&read(0, 8), SimInstant::EPOCH, policy)
@@ -531,6 +573,19 @@ mod tests {
                     expected_backoff += policy.backoff_after(a);
                 }
                 assert_eq!(worst, expected_backoff, "budget {budget}");
+                // Pinned absolute totals: geometric sum of 500 µs
+                // doublings, 0.5 × (2^(N−1) − 1) ms, none near the
+                // default 100 ms per-backoff clamp.
+                let pinned_us = [0u64, 0, 500, 3_500, 31_500];
+                let i = [0u32, 1, 2, 4, 7]
+                    .iter()
+                    .position(|&b| b == budget)
+                    .unwrap();
+                assert_eq!(
+                    worst,
+                    SimDuration::from_micros(pinned_us[i]),
+                    "budget {budget}: worst-case total drifted"
+                );
             }
         }
 

@@ -111,33 +111,45 @@ pub struct RetryPolicy {
     pub max_attempts: u32,
     /// Backoff before the first retry; doubles each further retry.
     pub base_backoff: SimDuration,
+    /// Upper clamp on any single backoff. The exponential stops
+    /// growing here, so a large `base_backoff` or attempt count can
+    /// never overflow the nanosecond arithmetic.
+    pub max_backoff: SimDuration,
 }
 
 impl RetryPolicy {
     /// The backoff inserted after failed attempt `attempt` (0-based):
-    /// `base_backoff * 2^attempt`.
+    /// `base_backoff * 2^attempt`, saturating, clamped to
+    /// `max_backoff`.
     pub fn backoff_after(&self, attempt: u32) -> SimDuration {
-        self.base_backoff * (1u64 << attempt.min(20))
+        let factor = 1u64.checked_shl(attempt.min(63)).unwrap_or(u64::MAX);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
     }
 
     /// Total virtual time spent backing off if every attempt fails:
     /// N submissions are separated by N−1 backoffs (none after the
     /// final, failing attempt — the error surfaces immediately).
+    /// Saturates at [`SimDuration::MAX`]; with the per-backoff clamp
+    /// it is also bounded by `(max_attempts − 1) × max_backoff`.
     pub fn worst_case_backoff(&self) -> SimDuration {
         let mut total = SimDuration::ZERO;
         for attempt in 0..self.max_attempts.saturating_sub(1) {
-            total += self.backoff_after(attempt);
+            total = total.saturating_add(self.backoff_after(attempt));
         }
         total
     }
 }
 
 impl Default for RetryPolicy {
-    /// Four attempts with a 500 µs initial backoff (0.5, 1, 2 ms).
+    /// Four attempts with a 500 µs initial backoff (0.5, 1, 2 ms) and
+    /// a 100 ms per-backoff clamp (never reached by the defaults).
     fn default() -> Self {
         RetryPolicy {
             max_attempts: 4,
             base_backoff: SimDuration::from_micros(500),
+            max_backoff: SimDuration::from_millis(100),
         }
     }
 }
@@ -187,12 +199,51 @@ mod tests {
         let p = RetryPolicy {
             max_attempts: 4,
             base_backoff: SimDuration::from_micros(500),
+            ..RetryPolicy::default()
         };
         assert_eq!(p.backoff_after(0), SimDuration::from_micros(500));
         assert_eq!(p.backoff_after(1), SimDuration::from_millis(1));
         assert_eq!(p.backoff_after(2), SimDuration::from_millis(2));
         // 0.5 + 1 + 2 ms across the three possible retries.
         assert_eq!(p.worst_case_backoff(), SimDuration::from_micros(3_500));
+    }
+
+    #[test]
+    fn retry_backoff_clamps_at_max_backoff() {
+        let p = RetryPolicy {
+            max_attempts: 16,
+            base_backoff: SimDuration::from_micros(500),
+            max_backoff: SimDuration::from_millis(2),
+        };
+        assert_eq!(p.backoff_after(0), SimDuration::from_micros(500));
+        assert_eq!(p.backoff_after(2), SimDuration::from_millis(2));
+        // The exponential stops at the clamp instead of doubling on.
+        assert_eq!(p.backoff_after(3), SimDuration::from_millis(2));
+        assert_eq!(p.backoff_after(60), SimDuration::from_millis(2));
+        // 0.5 + 1 + 13×2 ms across the fifteen possible retries.
+        assert_eq!(p.worst_case_backoff(), SimDuration::from_micros(27_500));
+    }
+
+    #[test]
+    fn retry_backoff_saturates_instead_of_overflowing() {
+        // base_backoff of ~5 hours: the old `base * (1 << 20)` would
+        // overflow u64 nanoseconds and panic in debug builds.
+        let p = RetryPolicy {
+            max_attempts: 64,
+            base_backoff: SimDuration::from_secs(5 * 3600),
+            max_backoff: SimDuration::MAX,
+        };
+        assert_eq!(p.backoff_after(63), SimDuration::MAX);
+        assert_eq!(p.backoff_after(u32::MAX), SimDuration::MAX);
+        assert_eq!(p.worst_case_backoff(), SimDuration::MAX);
+        // With a finite clamp, worst case is (N−1) × max_backoff.
+        let clamped = RetryPolicy {
+            max_backoff: SimDuration::from_secs(1),
+            ..p
+        };
+        // First backoff is already 5 h before clamping, so all 63
+        // retries charge exactly the 1 s clamp.
+        assert_eq!(clamped.worst_case_backoff(), SimDuration::from_secs(63));
     }
 
     #[test]

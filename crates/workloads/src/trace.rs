@@ -100,7 +100,17 @@ impl Trace {
         }
         let mut trace = Trace::default();
         for line in lines {
-            let line = line.split('#').next().unwrap_or("").trim();
+            // `#` starts a comment only at line start or after
+            // whitespace; a mid-token `#` (`file 3 40#0`) would
+            // otherwise silently truncate into a different valid
+            // record, so it is a parse error instead.
+            let line = match line.find('#') {
+                None => line.trim(),
+                Some(pos) if pos == 0 || line[..pos].ends_with(|c: char| c.is_whitespace()) => {
+                    line[..pos].trim()
+                }
+                Some(_) => return Err(bad(line.trim())),
+            };
             if line.is_empty() {
                 continue;
             }
@@ -276,6 +286,24 @@ mod tests {
         // Comments and blank lines are fine.
         let ok = Trace::from_text("duet-trace v1\n# hello\n\nfile 0 4096\n").unwrap();
         assert_eq!(ok.files, vec![4096]);
+    }
+
+    #[test]
+    fn comment_only_at_line_start_or_after_whitespace() {
+        // Trailing comment after whitespace: stripped.
+        let ok = Trace::from_text("duet-trace v1\nfile 0 4096 # size in bytes\n").unwrap();
+        assert_eq!(ok.files, vec![4096]);
+        // Indented comment line: stripped.
+        let ok = Trace::from_text("duet-trace v1\n  # indented\nfile 0 512\n").unwrap();
+        assert_eq!(ok.files, vec![512]);
+        // Mid-token `#` must NOT silently truncate `file 3 40#0` into
+        // `file 3 40`; it is a parse error naming the line.
+        let err = Trace::from_text("duet-trace v1\nfile 0 40#0\n").unwrap_err();
+        let msg = format!("{err:?}");
+        assert!(msg.contains("bad trace line"), "{msg}");
+        assert!(msg.contains("40#0"), "{msg}");
+        // Same for op records.
+        assert!(Trace::from_text("duet-trace v1\nop 0 read 0#7 0\n").is_err());
     }
 
     #[test]

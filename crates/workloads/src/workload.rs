@@ -124,6 +124,7 @@ pub fn populate_fileset(
 }
 
 /// The foreground workload driver.
+#[derive(Clone)]
 pub struct Workload {
     cfg: WorkloadConfig,
     /// Calibrated operation mix (byte ratios solved for this file set).
@@ -156,6 +157,78 @@ pub struct Workload {
     recorder: Option<Trace>,
     name_counter: u64,
     stats: WorkloadStats,
+}
+
+impl sim_core::snapshot::StateDigest for Workload {
+    fn digest_state(&self, d: &mut sim_core::snapshot::Digest) {
+        d.write_u32(match self.cfg.personality {
+            Personality::WebServer => 0,
+            Personality::WebProxy => 1,
+            Personality::FileServer => 2,
+        });
+        match self.cfg.dist {
+            DistKind::Uniform => d.write_u32(0),
+            DistKind::MsTrace(dev) => {
+                d.write_u32(1);
+                d.write_u32(dev as u32);
+            }
+        }
+        d.write_f64(self.cfg.coverage);
+        d.write_f64(self.cfg.target_util);
+        d.write_u32(self.cfg.burst);
+        d.write_u64(self.cfg.append_bytes);
+        d.write_u64(self.cfg.seed);
+        d.write_usize(self.mix.len());
+        for &(op, w) in &self.mix {
+            d.write_u32(op as u32);
+            d.write_f64(w);
+        }
+        d.write_usize(self.files.len());
+        for f in &self.files {
+            d.write_u64(f.ino.raw());
+            d.write_u64(f.size);
+        }
+        d.write_usize(self.accessible.len());
+        for &i in &self.accessible {
+            d.write_usize(i);
+        }
+        // The selector is immutable after setup; its identity is pinned
+        // by the rank order (the sampler CDF is a pure function of the
+        // distribution kind and file count, both digested above).
+        match &self.selector {
+            FileSelector::Uniform { n } => {
+                d.write_u32(0);
+                d.write_usize(*n);
+            }
+            FileSelector::Weighted { order, .. } => {
+                d.write_u32(1);
+                d.write_usize(order.len());
+                for &r in order {
+                    d.write_usize(r);
+                }
+            }
+        }
+        self.rng.digest_state(d);
+        d.write_u64(self.log_ino.raw());
+        d.write_u64(self.next_issue.as_nanos());
+        d.write_f64(self.busy_per_op_ema);
+        d.write_bool(self.profiled);
+        d.write_u64(self.prev_busy.as_nanos());
+        d.write_u32(self.in_burst);
+        d.write_u64(self.burst_start.as_nanos());
+        d.write_u64(self.latency_ms.count());
+        d.write_f64(self.latency_ms.mean());
+        d.write_f64(self.latency_ms.variance());
+        d.write_bool(self.recorder.is_some());
+        if let Some(t) = &self.recorder {
+            d.write_str(&t.to_text());
+        }
+        d.write_u64(self.name_counter);
+        d.write_u64(self.stats.ops);
+        d.write_u64(self.stats.bytes_read);
+        d.write_u64(self.stats.bytes_written);
+        d.write_u64(self.stats.files_replaced);
+    }
 }
 
 impl Workload {
@@ -215,6 +288,14 @@ impl Workload {
             self.busy_per_op_ema = ns_per_op;
             self.profiled = true;
         }
+    }
+
+    /// Overrides the utilization target. The target is read only by the
+    /// per-operation throttle — never during [`Workload::setup`] — so a
+    /// workload forked from a shared setup snapshot can be retargeted
+    /// per sweep cell without perturbing the setup-time RNG streams.
+    pub fn set_target_util(&mut self, target_util: f64) {
+        self.cfg.target_util = target_util;
     }
 
     /// The populated files (for overlap bookkeeping by experiments).

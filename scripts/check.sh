@@ -58,6 +58,15 @@ echo "==> trace plane compiles out cleanly"
 cargo check -q -p experiments --no-default-features
 cargo test -q -p experiments --no-default-features --test localize
 
+echo "==> snapshot/fork equivalence (digest oracle + cold-path goldens)"
+# The warm-start plane (DESIGN.md §14) must be invisible: the digest
+# tests pin fork ≡ fresh over the whole stack, and the golden-fixture
+# suite re-runs with DUET_SNAPSHOT=0 so the cold build-every-cell path
+# produces the same committed bytes as the forked one exercised by the
+# workspace pass above.
+cargo test -q -p experiments --release snapshot::
+DUET_SNAPSHOT=0 cargo test -q --release --test determinism
+
 echo "==> repro_all smoke (DUET_SCALE=512 DUET_JOBS=2, time-bounded)"
 cargo build -q --release -p bench --bin repro_all
 timeout 600 env DUET_SCALE=512 DUET_JOBS=2 ./target/release/repro_all \
